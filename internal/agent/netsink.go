@@ -1,0 +1,79 @@
+package agent
+
+import (
+	"sync"
+
+	"repro/internal/collect"
+	"repro/internal/snapshot"
+	"repro/internal/tracefmt"
+)
+
+// NetSink ships trace buffers to a collection server over TCP — the §3
+// deployment, where each trace agent connects to one of three dedicated
+// collection servers. Snapshots are retained locally (they were shipped
+// out of band in the study).
+type NetSink struct {
+	mu      sync.Mutex
+	addr    string
+	machine string
+	client  *collect.Client
+
+	// Snapshots taken while this sink was active.
+	Snaps []*snapshot.Snapshot
+	// SendErrors counts failed shipments (the agent suspends on its own
+	// connected flag; errors here indicate a mid-stream failure).
+	SendErrors int
+}
+
+// NewNetSink dials the collection server for the given machine.
+func NewNetSink(addr, machine string) (*NetSink, error) {
+	c, err := collect.Dial(addr, machine)
+	if err != nil {
+		return nil, err
+	}
+	return &NetSink{addr: addr, machine: machine, client: c}, nil
+}
+
+// TraceBuffer implements Sink by streaming the records; on failure it
+// attempts one reconnect (the agent-level suspend logic handles longer
+// outages).
+func (n *NetSink) TraceBuffer(mch string, recs []tracefmt.Record) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.client == nil {
+		n.SendErrors++
+		return
+	}
+	if err := n.client.Send(recs); err != nil {
+		n.SendErrors++
+		n.client.Close()
+		c, derr := collect.Dial(n.addr, n.machine)
+		if derr != nil {
+			n.client = nil
+			return
+		}
+		n.client = c
+		if err := n.client.Send(recs); err != nil {
+			n.SendErrors++
+		}
+	}
+}
+
+// Snapshot implements Sink.
+func (n *NetSink) Snapshot(s *snapshot.Snapshot) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.Snaps = append(n.Snaps, s)
+}
+
+// Close ends the stream cleanly.
+func (n *NetSink) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.client == nil {
+		return nil
+	}
+	err := n.client.Close()
+	n.client = nil
+	return err
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/fsgen"
+	"repro/internal/ntos/fsys"
+	"repro/internal/ntos/machine"
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+func genSnapshot(t *testing.T) *snapshot.Snapshot {
+	t.Helper()
+	fs := fsys.New(volume.FlavorNTFS, 8<<30)
+	rng := sim.NewRNG(21)
+	fsgen.PopulateLocal(fs, rng, fsgen.Config{
+		User: "alice", Category: machine.Personal, Now: sim.Time(60 * sim.Day),
+	})
+	return snapshot.Take("m1", `C:`, fs, sim.Time(60*sim.Day))
+}
+
+func TestCensusBasics(t *testing.T) {
+	s := genSnapshot(t)
+	c := Census(s)
+	if c.Files < 5000 {
+		t.Fatalf("census files = %d", c.Files)
+	}
+	if c.Dirs == 0 || c.Bytes == 0 {
+		t.Errorf("census: %+v", c)
+	}
+	if c.MaxDepth < 3 {
+		t.Errorf("max depth = %d", c.MaxDepth)
+	}
+	// §5: size tail heavy; time inconsistencies ~2-4%.
+	if c.SizeTailAlpha <= 0 || c.SizeTailAlpha > 2.5 {
+		t.Errorf("size tail α = %v, want heavy (<2.5)", c.SizeTailAlpha)
+	}
+	if c.TimeInconsistent < 0.005 || c.TimeInconsistent > 0.1 {
+		t.Errorf("time-inconsistent fraction = %v, want ~0.02-0.04", c.TimeInconsistent)
+	}
+}
+
+func TestTypeCensusOrdering(t *testing.T) {
+	s := genSnapshot(t)
+	slices := TypeCensus(s)
+	if len(slices) < 4 {
+		t.Fatalf("type slices = %d", len(slices))
+	}
+	for i := 1; i < len(slices); i++ {
+		if slices[i-1].Bytes < slices[i].Bytes {
+			t.Fatal("type census not sorted by bytes")
+		}
+	}
+	// §5: system binaries dominate bytes — the top slice should be a
+	// system or development category.
+	top := slices[0].Category
+	if top.Major != "system" && top.Major != "development" && top.Major != "application" {
+		t.Errorf("top byte category = %+v", top)
+	}
+}
+
+func TestImageShareOfTail(t *testing.T) {
+	s := genSnapshot(t)
+	share := ImageShareOfTail(s, len(s.Files())/100+1)
+	if share < 0.5 {
+		t.Errorf("image share of top-1%% sizes = %.2f, want dominant (>0.5)", share)
+	}
+	if got := ImageShareOfTail(&snapshot.Snapshot{}, 10); got != 0 {
+		t.Errorf("empty snapshot share = %v", got)
+	}
+}
+
+func TestAttributeChanges(t *testing.T) {
+	fs := fsys.New(volume.FlavorNTFS, 8<<30)
+	rng := sim.NewRNG(22)
+	lay := fsgen.PopulateLocal(fs, rng, fsgen.Config{
+		User: "bob", Category: machine.Personal, Now: 0,
+	})
+	day0 := snapshot.Take("m", `C:`, fs, 0)
+	// Simulate a browsing day: new cache entries plus one doc edit.
+	for i := 0; i < 50; i++ {
+		fs.CreateFile(lay.WebCache+`\cache0\new`+itoa(i)+`.gif`, 2000, types.AttrNormal, sim.Time(sim.Hour))
+	}
+	fs.CreateFile(lay.DocsDir+`\edited.doc`, 9000, types.AttrNormal, sim.Time(sim.Hour))
+	day1 := snapshot.Take("m", `C:`, fs, sim.Time(24*sim.Hour))
+	ca := AttributeChanges(day0, day1)
+	if ca.Added != 51 {
+		t.Errorf("added = %d", ca.Added)
+	}
+	// 50 of 51 under the WWW cache ≈ 98%; all 51 under profiles... the
+	// doc dir is also in the profile, so profile share is 100%.
+	if ca.ProfileShare < 0.95 {
+		t.Errorf("profile share = %.2f", ca.ProfileShare)
+	}
+	if ca.WebCacheShare < 0.90 || ca.WebCacheShare > 1.0 {
+		t.Errorf("web cache share = %.2f, want ~0.98", ca.WebCacheShare)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file implements the §4 OLAP machinery: the instance fact table is
+// grouped along dimension axes (machine, category, process, file-type
+// hierarchy, time-of-day) into cells carrying additive measures, with
+// drill-down from major file-type categories into minors — the paper's
+// ".mbx is part of the mail files category, which is part of the
+// application files category" example.
+
+// Dimension extracts a category key from an instance.
+type Dimension struct {
+	Name string
+	Key  func(*Instance) string
+}
+
+// Standard dimensions.
+var (
+	// DimMachine groups by machine name.
+	DimMachine = Dimension{"machine", func(in *Instance) string { return in.Machine }}
+	// DimCategory groups by the §2 usage category.
+	DimCategory = Dimension{"category", func(in *Instance) string { return in.Category.String() }}
+	// DimTypeMajor groups by the top-level file-type category.
+	DimTypeMajor = Dimension{"type", func(in *Instance) string { return ClassifyExt(in.Ext).Major }}
+	// DimTypeMinor drills into the file-type subcategory.
+	DimTypeMinor = Dimension{"subtype", func(in *Instance) string {
+		c := ClassifyExt(in.Ext)
+		return c.Major + "/" + c.Minor
+	}}
+	// DimAccessClass groups by the Table 3 access class.
+	DimAccessClass = Dimension{"class", func(in *Instance) string { return in.Class.String() }}
+	// DimHour groups by hour of virtual day (time dimension).
+	DimHour = Dimension{"hour", func(in *Instance) string {
+		h := (int64(in.OpenTime) / int64(sim.Hour)) % 24
+		return fmt.Sprintf("%02dh", h)
+	}}
+	// DimRemote splits local and redirector traffic.
+	DimRemote = Dimension{"volume", func(in *Instance) string {
+		if in.Remote {
+			return "network"
+		}
+		return "local"
+	}}
+)
+
+// DimProcess groups by process image name using the machine process
+// table; unknown pids group under "pid-<n>".
+func DimProcess(names map[string]map[uint32]string) Dimension {
+	return Dimension{"process", func(in *Instance) string {
+		if m := names[in.Machine]; m != nil {
+			if n, ok := m[in.Process]; ok {
+				return n
+			}
+		}
+		return fmt.Sprintf("pid-%d", in.Process)
+	}}
+}
+
+// Cell carries the additive measures for one group.
+type Cell struct {
+	Key string
+
+	Sessions     int
+	DataSessions int
+	Failed       int
+
+	Reads, Writes           int
+	BytesRead, BytesWritten int64
+	CacheHits               int
+
+	ControlOps, DirOps, QueryOps int
+
+	// HoldSamples collects hold times (ms) for percentile queries.
+	HoldSamples []float64
+}
+
+// Bytes is the total data volume.
+func (c *Cell) Bytes() int64 { return c.BytesRead + c.BytesWritten }
+
+// Cube is a one-dimensional rollup (compose by nesting keys for
+// multi-dimensional views).
+type Cube struct {
+	Dim   Dimension
+	Cells map[string]*Cell
+}
+
+// BuildCube aggregates instances along dim.
+func BuildCube(ins []*Instance, dim Dimension) *Cube {
+	c := &Cube{Dim: dim, Cells: map[string]*Cell{}}
+	for _, in := range ins {
+		key := dim.Key(in)
+		cell := c.Cells[key]
+		if cell == nil {
+			cell = &Cell{Key: key}
+			c.Cells[key] = cell
+		}
+		cell.Sessions++
+		if in.Failed {
+			cell.Failed++
+			continue
+		}
+		if in.IsDataSession() {
+			cell.DataSessions++
+		}
+		cell.Reads += in.Reads
+		cell.Writes += in.Writes
+		cell.BytesRead += in.BytesRead
+		cell.BytesWritten += in.BytesWritten
+		cell.CacheHits += in.CacheHitReads
+		cell.ControlOps += in.ControlOps
+		cell.DirOps += in.DirOps
+		cell.QueryOps += in.QueryOps
+		if ht := in.HoldTime(); ht >= 0 {
+			cell.HoldSamples = append(cell.HoldSamples, ht.Milliseconds())
+		}
+	}
+	return c
+}
+
+// Keys returns cell keys sorted by descending session count (ties by
+// name) — the natural browse order.
+func (c *Cube) Keys() []string {
+	keys := make([]string, 0, len(c.Cells))
+	for k := range c.Cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := c.Cells[keys[i]], c.Cells[keys[j]]
+		if a.Sessions != b.Sessions {
+			return a.Sessions > b.Sessions
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// Top returns the n busiest cells.
+func (c *Cube) Top(n int) []*Cell {
+	keys := c.Keys()
+	if n > len(keys) {
+		n = len(keys)
+	}
+	out := make([]*Cell, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.Cells[keys[i]]
+	}
+	return out
+}
+
+// DrillDown re-aggregates the instances of one cell along a finer
+// dimension — the §4 "drill-down into the summarized data".
+func DrillDown(ins []*Instance, coarse Dimension, key string, fine Dimension) *Cube {
+	var sub []*Instance
+	for _, in := range ins {
+		if coarse.Key(in) == key {
+			sub = append(sub, in)
+		}
+	}
+	return BuildCube(sub, fine)
+}

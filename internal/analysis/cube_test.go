@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ntos/machine"
+	"repro/internal/sim"
+)
+
+// mkIns builds a synthetic instance.
+func mkIns(mach string, proc uint32, ext string, class AccessClass,
+	reads, writes int, bytesR, bytesW int64, open sim.Time) *Instance {
+	in := &Instance{
+		Machine: mach, Category: machine.Personal, Process: proc,
+		Ext: ext, Class: class, Reads: reads, Writes: writes,
+		BytesRead: bytesR, BytesWritten: bytesW,
+		OpenTime: open, CleanupTime: open + sim.Time(5*sim.Millisecond),
+		CloseTime: open + sim.Time(6*sim.Millisecond),
+	}
+	return in
+}
+
+func sampleInstances() []*Instance {
+	return []*Instance{
+		mkIns("m1", 100, "doc", AccessReadOnly, 3, 0, 9000, 0, 0),
+		mkIns("m1", 100, "doc", AccessReadOnly, 2, 0, 4000, 0, sim.Time(sim.Second)),
+		mkIns("m1", 101, "mbx", AccessReadWrite, 2, 2, 8000, 8000, sim.Time(2*sim.Second)),
+		mkIns("m2", 200, "exe", AccessReadOnly, 5, 0, 500000, 0, sim.Time(3*sim.Second)),
+		mkIns("m2", 200, "tmp", AccessWriteOnly, 0, 4, 0, 20000, sim.Time(4*sim.Second)),
+		mkIns("m2", 200, "", AccessNone, 0, 0, 0, 0, sim.Time(5*sim.Second)),
+	}
+}
+
+func TestBuildCubeByMachine(t *testing.T) {
+	c := BuildCube(sampleInstances(), DimMachine)
+	if len(c.Cells) != 2 {
+		t.Fatalf("cells = %d", len(c.Cells))
+	}
+	m1 := c.Cells["m1"]
+	if m1.Sessions != 3 || m1.DataSessions != 3 {
+		t.Errorf("m1: %+v", m1)
+	}
+	if m1.BytesRead != 21000 || m1.BytesWritten != 8000 {
+		t.Errorf("m1 bytes: %d/%d", m1.BytesRead, m1.BytesWritten)
+	}
+	m2 := c.Cells["m2"]
+	if m2.Sessions != 3 || m2.DataSessions != 2 {
+		t.Errorf("m2: %+v", m2)
+	}
+	if len(m1.HoldSamples) != 3 {
+		t.Errorf("hold samples = %d", len(m1.HoldSamples))
+	}
+}
+
+func TestCubeKeysOrderedBySessions(t *testing.T) {
+	c := BuildCube(sampleInstances(), DimTypeMajor)
+	keys := c.Keys()
+	if len(keys) < 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if c.Cells[keys[i-1]].Sessions < c.Cells[keys[i]].Sessions {
+			t.Errorf("keys not ordered: %v", keys)
+		}
+	}
+	top := c.Top(2)
+	if len(top) != 2 || top[0].Key != keys[0] {
+		t.Errorf("Top(2) = %+v", top)
+	}
+}
+
+func TestTypeDimensions(t *testing.T) {
+	ins := sampleInstances()
+	major := BuildCube(ins, DimTypeMajor)
+	if major.Cells["document"] == nil || major.Cells["system"] == nil {
+		t.Fatalf("major cells: %v", major.Keys())
+	}
+	minor := DrillDown(ins, DimTypeMajor, "application", DimTypeMinor)
+	if minor.Cells["application/mail"] == nil {
+		t.Errorf("drill-down cells: %v", minor.Keys())
+	}
+	// Drill-down only contains instances of the parent cell.
+	total := 0
+	for _, c := range minor.Cells {
+		total += c.Sessions
+	}
+	if total != 1 {
+		t.Errorf("drill-down sessions = %d, want 1 (the .mbx)", total)
+	}
+}
+
+func TestDimProcess(t *testing.T) {
+	names := map[string]map[uint32]string{
+		"m1": {100: "notepad", 101: "mail"},
+	}
+	c := BuildCube(sampleInstances(), DimProcess(names))
+	if c.Cells["notepad"] == nil || c.Cells["notepad"].Sessions != 2 {
+		t.Errorf("notepad cell: %+v", c.Cells["notepad"])
+	}
+	// Unknown machine's pids fall back to pid-N.
+	if c.Cells["pid-200"] == nil {
+		t.Errorf("fallback key missing: %v", c.Keys())
+	}
+}
+
+func TestDimHourAndRemote(t *testing.T) {
+	ins := []*Instance{
+		mkIns("m", 1, "txt", AccessReadOnly, 1, 0, 10, 0, sim.Time(30*sim.Minute)),
+		mkIns("m", 1, "txt", AccessReadOnly, 1, 0, 10, 0, sim.Time(25*sim.Hour)),
+	}
+	ins[1].Remote = true
+	hours := BuildCube(ins, DimHour)
+	if hours.Cells["00h"] == nil || hours.Cells["01h"] == nil {
+		t.Errorf("hour cells: %v", hours.Keys())
+	}
+	vol := BuildCube(ins, DimRemote)
+	if vol.Cells["local"].Sessions != 1 || vol.Cells["network"].Sessions != 1 {
+		t.Errorf("volume cells: %v", vol.Keys())
+	}
+}
+
+func TestFailedSessionsCountedButNotAggregated(t *testing.T) {
+	in := mkIns("m", 1, "txt", AccessNone, 0, 0, 0, 0, 0)
+	in.Failed = true
+	c := BuildCube([]*Instance{in}, DimMachine)
+	cell := c.Cells["m"]
+	if cell.Sessions != 1 || cell.Failed != 1 || cell.DataSessions != 0 {
+		t.Errorf("failed cell: %+v", cell)
+	}
+	if len(cell.HoldSamples) != 0 {
+		t.Error("failed session contributed a hold sample")
+	}
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+func TestPagingBursts(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\f`, 1<<20, types.FileOpened)
+	// A tight burst of paging reads, then silence, then one lazy write.
+	for i := 0; i < 20; i++ {
+		b.add(tracefmt.Record{Kind: tracefmt.EvPagingRead, FileID: 1, Length: 65536})
+		b.at(10 * sim.Millisecond)
+	}
+	b.at(60 * sim.Duration(sim.Second))
+	b.add(tracefmt.Record{Kind: tracefmt.EvLazyWrite, FileID: 1, Length: 65536})
+	b.closeSeq(1)
+	pb := PagingBursts(b.trace(t))
+	if pb.Requests != 21 {
+		t.Fatalf("requests = %d", pb.Requests)
+	}
+	if pb.Dispersion1s <= 1 {
+		t.Errorf("dispersion = %v; a burst should be over-dispersed", pb.Dispersion1s)
+	}
+	if pb.MaxPerSecond < 19 {
+		t.Errorf("max/s = %v", pb.MaxPerSecond)
+	}
+	if pb.LazyShare == 0 {
+		t.Error("lazy share missing")
+	}
+}
+
+func TestCompressedReadsSplit(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\c.obj`, 100000, types.FileOpened)
+	b.add(tracefmt.Record{Kind: tracefmt.EvRead, FileID: 1, Length: 4096,
+		Returned: 4096, BytePos: 4096, Attributes: types.AttrCompressed})
+	b.add(tracefmt.Record{Kind: tracefmt.EvRead, FileID: 1, Length: 4096,
+		Returned: 4096, BytePos: 8192})
+	// Cache hits excluded.
+	b.add(tracefmt.Record{Kind: tracefmt.EvRead, FileID: 1, Length: 4096,
+		Returned: 4096, BytePos: 12288, Annot: tracefmt.AnnotFromCache})
+	b.closeSeq(1)
+	comp, plain := CompressedReads(b.trace(t))
+	if len(comp) != 1 || len(plain) != 1 {
+		t.Errorf("comp=%d plain=%d", len(comp), len(plain))
+	}
+}
+
+func TestDirectoryThroughput(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\dir`, 0, types.FileOpened)
+	for i := 0; i < 10; i++ {
+		b.add(tracefmt.Record{Kind: tracefmt.EvQueryDirectory, FileID: 1, Returned: 25})
+		b.at(50 * sim.Millisecond)
+	}
+	b.closeSeq(1)
+	ds := DirectoryThroughput(b.trace(t))
+	if ds.Queries != 10 {
+		t.Fatalf("queries = %d", ds.Queries)
+	}
+	if ds.EntriesP50 != 25 {
+		t.Errorf("entries p50 = %v", ds.EntriesP50)
+	}
+	if ds.PeakPerSecond < 5 {
+		t.Errorf("peak rate = %v", ds.PeakPerSecond)
+	}
+	empty := DirectoryThroughput(NewMachineTrace("e", 0, nil))
+	if empty.Queries != 0 {
+		t.Error("empty trace produced queries")
+	}
+}

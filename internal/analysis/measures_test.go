@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+func TestRequestClassesSplitsFourWays(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\f`, 100000, types.FileOpened)
+	b.read(1, 0, 4096, false, false)  // IRP read
+	b.read(1, 4096, 4096, true, true) // Fast read
+	b.write(1, 0, 512, 100000)        // Fast write
+	b.add(tracefmt.Record{Kind: tracefmt.EvWrite, FileID: 1, Length: 1024,
+		Returned: 1024, BytePos: 1024, FileSize: 100000}) // IRP write
+	b.add(tracefmt.Record{Kind: tracefmt.EvPagingRead, FileID: 1, Length: 65536}) // paging → IRP read
+	b.add(tracefmt.Record{Kind: tracefmt.EvLazyWrite, FileID: 1, Length: 65536})  // lazy → IRP write
+	// Refused FastIO must be excluded everywhere.
+	b.add(tracefmt.Record{Kind: tracefmt.EvFastRead, FileID: 1,
+		Annot: tracefmt.AnnotFastRefused, Length: 4096})
+	b.closeSeq(1)
+	mt := b.trace(t)
+	s := RequestClasses(mt)
+	if len(s.FastReadLatUS) != 1 || len(s.FastWriteLatUS) != 1 {
+		t.Errorf("fast: %d/%d", len(s.FastReadLatUS), len(s.FastWriteLatUS))
+	}
+	if len(s.IrpReadLatUS) != 2 || len(s.IrpWriteLatUS) != 2 {
+		t.Errorf("irp: %d/%d", len(s.IrpReadLatUS), len(s.IrpWriteLatUS))
+	}
+	if s.IrpReadSize[1] != 65536 {
+		t.Errorf("paging read size = %v", s.IrpReadSize)
+	}
+
+	rs, ws := FastIOShares(mt)
+	if math.Abs(rs-1.0/3) > 1e-9 {
+		t.Errorf("read share = %v, want 1/3", rs)
+	}
+	if math.Abs(ws-1.0/3) > 1e-9 {
+		t.Errorf("write share = %v, want 1/3", ws)
+	}
+}
+
+func TestCleanupCloseGapsSplit(t *testing.T) {
+	b := &recBuilder{}
+	// Read session: tight gap.
+	b.open(1, `C:\r`, 100, types.FileOpened)
+	b.read(1, 0, 100, false, false)
+	b.closeSeq(1)
+	// Write session with a long deferred close.
+	b.open(2, `C:\w`, 0, types.FileCreated)
+	b.write(2, 0, 100, 100)
+	b.add(tracefmt.Record{Kind: tracefmt.EvCleanup, FileID: 2})
+	b.at(2 * sim.Second)
+	b.add(tracefmt.Record{Kind: tracefmt.EvClose, FileID: 2})
+	ins := BuildInstances(b.trace(t))
+	readGaps, writeGaps := CleanupCloseGaps(ins)
+	if len(readGaps) != 1 || len(writeGaps) != 1 {
+		t.Fatalf("gaps: %d read, %d write", len(readGaps), len(writeGaps))
+	}
+	if readGaps[0] > 1000 { // µs
+		t.Errorf("read gap = %v µs", readGaps[0])
+	}
+	if writeGaps[0] < 1.9e6 {
+		t.Errorf("write gap = %v µs, want ~2 s", writeGaps[0])
+	}
+}
+
+func TestHoldTimesPredicates(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\data`, 100, types.FileOpened).read(1, 0, 100, false, false).closeSeq(1)
+	b.open(2, `C:\ctl`, 100, types.FileOpened).closeSeq(2)
+	ins := BuildInstances(b.trace(t))
+	if got := len(HoldTimes(ins, DataSessions)); got != 1 {
+		t.Errorf("data holds = %d", got)
+	}
+	if got := len(HoldTimes(ins, ControlSessions)); got != 1 {
+		t.Errorf("control holds = %d", got)
+	}
+	if got := len(HoldTimes(ins, nil)); got != 2 {
+		t.Errorf("all holds = %d", got)
+	}
+	combo := And(DataSessions, LocalSessions)
+	if got := len(HoldTimes(ins, combo)); got != 1 {
+		t.Errorf("combined holds = %d", got)
+	}
+}
+
+func TestRunLengthsAcrossInstances(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\a`, 100000, types.FileOpened)
+	b.read(1, 0, 4096, false, false)
+	b.read(1, 4096, 4096, false, false)  // one 8192 run
+	b.read(1, 50000, 1000, false, false) // second run of 1000
+	b.closeSeq(1)
+	ins := BuildInstances(b.trace(t))
+	readRuns, writeRuns := RunLengths(ins)
+	if len(readRuns) != 2 {
+		t.Fatalf("read runs = %v", readRuns)
+	}
+	if readRuns[0] != 8192 || readRuns[1] != 1000 {
+		t.Errorf("runs = %v", readRuns)
+	}
+	if len(writeRuns) != 0 {
+		t.Errorf("write runs = %v", writeRuns)
+	}
+}
+
+func TestCacheMeasuresFlushAntiPattern(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\log`, 0, types.FileCreated)
+	b.write(1, 0, 100, 100)
+	b.add(tracefmt.Record{Kind: tracefmt.EvFlushBuffers, FileID: 1})
+	b.write(1, 100, 100, 200)
+	b.add(tracefmt.Record{Kind: tracefmt.EvFlushBuffers, FileID: 1})
+	b.closeSeq(1)
+	// A non-flushing writer.
+	b.open(2, `C:\doc`, 0, types.FileCreated)
+	b.write(2, 0, 100, 100)
+	b.closeSeq(2)
+	mt := b.trace(t)
+	ins := BuildInstances(mt)
+	cm := Cache(mt, ins)
+	if cm.WriteSessions != 2 || cm.FlushPerWrite != 1 {
+		t.Errorf("write=%d flushy=%d", cm.WriteSessions, cm.FlushPerWrite)
+	}
+	if cm.FlushOps != 2 {
+		t.Errorf("flush ops = %d", cm.FlushOps)
+	}
+}
+
+func TestVMPagingCountsAsSessionReads(t *testing.T) {
+	// Image loading: paging reads on the application FileObject become
+	// session reads (§3.3 executable accounting).
+	b := &recBuilder{}
+	b.open(1, `C:\app.exe`, 300000, types.FileOpened)
+	b.add(tracefmt.Record{Kind: tracefmt.EvPagingRead, FileID: 1,
+		Offset: 0, Length: 65536, FileSize: 300000})
+	b.add(tracefmt.Record{Kind: tracefmt.EvPagingRead, FileID: 1,
+		Offset: 65536, Length: 65536, FileSize: 300000})
+	b.closeSeq(1)
+	ins := BuildInstances(b.trace(t))
+	in := ins[0]
+	if in.Class != AccessReadOnly {
+		t.Fatalf("class = %v", in.Class)
+	}
+	if in.Reads != 2 || in.BytesRead != 131072 {
+		t.Errorf("reads=%d bytes=%d", in.Reads, in.BytesRead)
+	}
+	if len(in.ReadRuns) != 1 || in.ReadRuns[0] != 131072 {
+		t.Errorf("runs = %v (sequential image load)", in.ReadRuns)
+	}
+}
+
+func TestOpenIntervalOccupancy(t *testing.T) {
+	b := &recBuilder{}
+	// Opens in seconds 0 and 1; silence until an open in second 9.
+	b.open(1, `C:\a`, 10, types.FileOpened).closeSeq(1)
+	b.at(sim.Duration(sim.Second)) // second 1
+	b.open(2, `C:\b`, 10, types.FileOpened).closeSeq(2)
+	b.at(8 * sim.Duration(sim.Second)) // second 9
+	b.open(3, `C:\c`, 10, types.FileOpened).closeSeq(3)
+	mt := b.trace(t)
+	occ := OpenIntervalOccupancy(mt)
+	// 3 busy seconds out of 10 (0..9).
+	if math.Abs(occ-0.3) > 1e-9 {
+		t.Errorf("occupancy = %v, want 0.3", occ)
+	}
+	if got := OpenIntervalOccupancy(NewMachineTrace("e", 0, nil)); got != 0 {
+		t.Errorf("empty occupancy = %v", got)
+	}
+}
+
+func TestAppReadLatencies(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\f`, 100000, types.FileOpened)
+	b.read(1, 0, 4096, false, false)
+	b.read(1, 4096, 4096, true, true)
+	b.add(tracefmt.Record{Kind: tracefmt.EvPagingRead, FileID: 1, Length: 65536})
+	b.closeSeq(1)
+	fast, irp := AppReadLatencies(b.trace(t))
+	if len(fast) != 1 || len(irp) != 1 {
+		t.Errorf("fast=%d irp=%d; paging must be excluded", len(fast), len(irp))
+	}
+}
+
+func TestCacheHitReadLatencies(t *testing.T) {
+	b := &recBuilder{}
+	b.open(1, `C:\f`, 100000, types.FileOpened)
+	b.read(1, 0, 4096, false, false)   // miss
+	b.read(1, 4096, 4096, true, true)  // fast hit
+	b.read(1, 8192, 4096, false, true) // IRP hit
+	b.closeSeq(1)
+	lats := CacheHitReadLatencies(b.trace(t))
+	if len(lats) != 2 {
+		t.Errorf("cache-hit latencies = %d, want 2", len(lats))
+	}
+}

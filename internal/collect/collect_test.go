@@ -1,0 +1,178 @@
+package collect
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+func mkRecs(n int, fid uint64) []tracefmt.Record {
+	recs := make([]tracefmt.Record, n)
+	for i := range recs {
+		recs[i] = tracefmt.Record{
+			Kind:   tracefmt.EvRead,
+			FileID: types.FileObjectID(fid),
+			Proc:   uint32(i),
+			Start:  sim.Time(i * 10),
+			End:    sim.Time(i*10 + 5),
+		}
+	}
+	return recs
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	if err := s.Append("m1", mkRecs(500, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("m1", mkRecs(300, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("m2", mkRecs(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Machines(); len(got) != 2 || got[0] != "m1" || got[1] != "m2" {
+		t.Fatalf("Machines = %v", got)
+	}
+	if s.RecordCount("m1") != 800 || s.TotalRecords() != 900 {
+		t.Errorf("counts: m1=%d total=%d", s.RecordCount("m1"), s.TotalRecords())
+	}
+	recs, err := s.Records("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 800 {
+		t.Fatalf("decoded %d records", len(recs))
+	}
+	if recs[0].FileID != 1 || recs[500].FileID != 2 {
+		t.Error("record order lost")
+	}
+	if s.CompressedBytes() <= 0 {
+		t.Error("no compressed bytes reported")
+	}
+	// Compression must actually compress these repetitive records.
+	raw := int64(900 * tracefmt.RecordSize)
+	if s.CompressedBytes() >= raw {
+		t.Errorf("compressed %d >= raw %d", s.CompressedBytes(), raw)
+	}
+}
+
+func TestStoreAppendAfterFinalize(t *testing.T) {
+	s := NewStore()
+	s.Append("m", mkRecs(10, 1))
+	s.Finalize()
+	if err := s.Append("m", mkRecs(10, 2)); err == nil {
+		t.Error("append after finalize succeeded")
+	}
+}
+
+func TestStoreRecordsBeforeFinalize(t *testing.T) {
+	s := NewStore()
+	s.Append("m", mkRecs(10, 1))
+	if _, err := s.Records("m"); err == nil {
+		t.Error("Records before finalize succeeded")
+	}
+	if _, err := s.Records("nosuch"); err == nil {
+		t.Error("Records for unknown machine succeeded")
+	}
+}
+
+func TestStoreSaveLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore()
+	s.Append("alpha", mkRecs(250, 7))
+	s.Append("beta-2", mkRecs(50, 8))
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TotalRecords() != 300 {
+		t.Errorf("loaded %d records", loaded.TotalRecords())
+	}
+	recs, err := loaded.Records("alpha")
+	if err != nil || len(recs) != 250 {
+		t.Fatalf("alpha: %d records, err=%v", len(recs), err)
+	}
+	if recs[0].FileID != 7 {
+		t.Error("loaded record corrupt")
+	}
+}
+
+func TestNetworkTransport(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	srv := Serve(ln, store)
+
+	c1, err := Dial(srv.Addr(), "node-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(srv.Addr(), "node-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Send(mkRecs(3000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Send(mkRecs(100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Send(mkRecs(500, 3)); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	c2.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range srv.Errors() {
+		t.Errorf("server error: %v", e)
+	}
+	if err := store.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if store.RecordCount("node-01") != 3500 || store.RecordCount("node-02") != 100 {
+		t.Errorf("counts: %d / %d", store.RecordCount("node-01"), store.RecordCount("node-02"))
+	}
+	recs, err := store.Records("node-01")
+	if err != nil || len(recs) != 3500 {
+		t.Fatalf("node-01 decode: %d, %v", len(recs), err)
+	}
+}
+
+func TestServerRejectsBadMagic(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	srv := Serve(ln, store)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("BADMAGIC........"))
+	conn.Close()
+	srv.Close()
+	if len(srv.Errors()) == 0 {
+		t.Error("bad magic not reported")
+	}
+	if store.TotalRecords() != 0 {
+		t.Error("records stored from bad stream")
+	}
+}

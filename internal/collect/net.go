@@ -1,0 +1,182 @@
+package collect
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/tracefmt"
+)
+
+// Wire protocol: the magic, a length-prefixed machine name, then frames of
+// (uint32 record count, records); a zero count ends the stream cleanly.
+var magic = []byte("NTTRACE1")
+
+// Server accepts agent connections and appends their streams to a Store —
+// the role of the paper's "three dedicated file servers that take the
+// incoming event streams and store them in compressed formats".
+type Server struct {
+	store *Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	errs   []error
+	closed bool
+}
+
+// Serve starts accepting on ln, storing into store.
+func Serve(ln net.Listener, store *Store) *Server {
+	s := &Server{store: store, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.mu.Lock()
+				s.errs = append(s.errs, err)
+				s.mu.Unlock()
+			}
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return err
+	}
+	if string(head) != string(magic) {
+		return fmt.Errorf("collect: bad magic from %v", conn.RemoteAddr())
+	}
+	var nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return err
+	}
+	if nameLen > 1024 {
+		return fmt.Errorf("collect: machine name too long (%d)", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return err
+	}
+	machine := string(nameBuf)
+	for {
+		var count uint32
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return err
+		}
+		if count == 0 {
+			return nil
+		}
+		if count > 1<<20 {
+			return fmt.Errorf("collect: oversized frame (%d records)", count)
+		}
+		data := make([]byte, int(count)*tracefmt.RecordSize)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return err
+		}
+		recs := make([]tracefmt.Record, count)
+		rest := data
+		var err error
+		for i := range recs {
+			if rest, err = recs[i].Decode(rest); err != nil {
+				return err
+			}
+		}
+		if err := s.store.Append(machine, recs); err != nil {
+			return err
+		}
+	}
+}
+
+// Errors returns connection-handling errors seen so far.
+func (s *Server) Errors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.errs...)
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is an agent-side connection to a collection server.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+// Dial connects to a collection server and announces the machine name.
+func Dial(addr, machine string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, bw: bufio.NewWriter(conn)}
+	if _, err := c.bw.Write(magic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := binary.Write(c.bw, binary.LittleEndian, uint32(len(machine))); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := c.bw.WriteString(machine); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Send ships one buffer of records.
+func (c *Client) Send(recs []tracefmt.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := binary.Write(c.bw, binary.LittleEndian, uint32(len(recs))); err != nil {
+		return err
+	}
+	if err := tracefmt.WriteAll(c.bw, recs); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Close ends the stream cleanly and closes the connection.
+func (c *Client) Close() error {
+	if err := binary.Write(c.bw, binary.LittleEndian, uint32(0)); err == nil {
+		c.bw.Flush()
+	}
+	return c.conn.Close()
+}

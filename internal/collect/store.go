@@ -1,0 +1,221 @@
+// Package collect implements the trace collection servers of §3: they
+// receive event streams from the per-machine trace agents and store them
+// in a compressed format for later retrieval by the analysis. A Store is
+// the compressed repository (DEFLATE per machine stream, as the paper's
+// servers "store them in compressed formats"); Server/Client add the
+// network path the agents used.
+package collect
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/tracefmt"
+)
+
+// Store is a compressed, per-machine trace repository. It is safe for
+// concurrent use (agents stream concurrently in the networked setup).
+type Store struct {
+	mu      sync.Mutex
+	streams map[string]*stream
+}
+
+type stream struct {
+	buf    bytes.Buffer
+	zw     *flate.Writer
+	count  int
+	closed bool
+}
+
+// NewStore creates an empty repository.
+func NewStore() *Store {
+	return &Store{streams: map[string]*stream{}}
+}
+
+// Append compresses and stores records under the machine's stream.
+func (s *Store) Append(machine string, recs []tracefmt.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[machine]
+	if st == nil {
+		st = &stream{}
+		zw, err := flate.NewWriter(&st.buf, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		st.zw = zw
+		s.streams[machine] = st
+	}
+	if st.closed {
+		return fmt.Errorf("collect: stream %q already finalized", machine)
+	}
+	if err := tracefmt.WriteAll(st.zw, recs); err != nil {
+		return err
+	}
+	st.count += len(recs)
+	return nil
+}
+
+// Finalize flushes all compression streams; Append after Finalize fails.
+func (s *Store) Finalize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, st := range s.streams {
+		if st.closed {
+			continue
+		}
+		if err := st.zw.Close(); err != nil {
+			return fmt.Errorf("collect: finalize %q: %w", name, err)
+		}
+		st.closed = true
+	}
+	return nil
+}
+
+// Machines lists the machine names with stored streams, sorted.
+func (s *Store) Machines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.streams))
+	for n := range s.streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RecordCount returns the number of stored records for a machine.
+func (s *Store) RecordCount(machine string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.streams[machine]; st != nil {
+		return st.count
+	}
+	return 0
+}
+
+// TotalRecords sums record counts across machines.
+func (s *Store) TotalRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, st := range s.streams {
+		total += st.count
+	}
+	return total
+}
+
+// CompressedBytes reports the stored (compressed) size.
+func (s *Store) CompressedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, st := range s.streams {
+		total += int64(st.buf.Len())
+	}
+	return total
+}
+
+// Records decompresses and decodes one machine's stream. The store must
+// be finalized first.
+func (s *Store) Records(machine string) ([]tracefmt.Record, error) {
+	s.mu.Lock()
+	st := s.streams[machine]
+	s.mu.Unlock()
+	if st == nil {
+		return nil, fmt.Errorf("collect: no stream for %q", machine)
+	}
+	if !st.closed {
+		return nil, fmt.Errorf("collect: stream %q not finalized", machine)
+	}
+	zr := flate.NewReader(bytes.NewReader(st.buf.Bytes()))
+	defer zr.Close()
+	return tracefmt.ReadAll(zr)
+}
+
+// AllRecords returns every machine's records keyed by machine name.
+func (s *Store) AllRecords() (map[string][]tracefmt.Record, error) {
+	out := map[string][]tracefmt.Record{}
+	for _, m := range s.Machines() {
+		recs, err := s.Records(m)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = recs
+	}
+	return out, nil
+}
+
+// safeName flattens a machine name into a file name.
+func safeName(machine string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, machine)
+}
+
+// SaveDir writes each finalized stream as <dir>/<machine>.trz.
+func (s *Store) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, st := range s.streams {
+		if !st.closed {
+			return fmt.Errorf("collect: stream %q not finalized", name)
+		}
+		path := filepath.Join(dir, safeName(name)+".trz")
+		if err := os.WriteFile(path, st.buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every *.trz file in dir into a finalized Store. Machine
+// names are the file stems.
+func LoadDir(dir string) (*Store, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := NewStore()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".trz") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		name := strings.TrimSuffix(e.Name(), ".trz")
+		st := &stream{closed: true}
+		st.buf.Write(data)
+		// Count records by decompressing once.
+		zr := flate.NewReader(bytes.NewReader(data))
+		recs, err := tracefmt.ReadAll(zr)
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("collect: %s: %w", e.Name(), err)
+		}
+		st.count = len(recs)
+		s.streams[name] = st
+	}
+	return s, nil
+}
+
+var _ io.Writer = (*bytes.Buffer)(nil) // interface sanity

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/collect"
+	"repro/internal/ntos/machine"
+	"repro/internal/snapshot"
+)
+
+// manifest records per-machine dimensions next to the trace store.
+type manifest struct {
+	Machines []manifestEntry `json:"machines"`
+}
+
+type manifestEntry struct {
+	Name      string            `json:"name"`
+	Category  uint8             `json:"category"`
+	ProcNames map[uint32]string `json:"proc_names,omitempty"`
+}
+
+// Save writes the collected traces (*.trz), snapshots (*.snap.json) and
+// the machine manifest into dir. The study must have Run.
+func (s *Study) Save(dir string) error {
+	if !s.ran {
+		return fmt.Errorf("core: Save before Run")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := s.Store.SaveDir(dir); err != nil {
+		return err
+	}
+	var man manifest
+	for _, n := range s.Nodes {
+		man.Machines = append(man.Machines, manifestEntry{
+			Name:      n.M.Name,
+			Category:  uint8(n.M.Category),
+			ProcNames: n.M.ProcNames,
+		})
+	}
+	data, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return err
+	}
+	for i, snap := range s.Snapshots {
+		name := fmt.Sprintf("%s-%03d.snap.json", safe(snap.Machine), i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := snap.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func safe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// Load reads a saved study directory back into an analysis corpus and its
+// snapshots.
+func Load(dir string) (*analysis.DataSet, []*snapshot.Snapshot, error) {
+	store, err := collect.LoadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var man manifest
+	if data, err := os.ReadFile(filepath.Join(dir, "manifest.json")); err == nil {
+		if err := json.Unmarshal(data, &man); err != nil {
+			return nil, nil, fmt.Errorf("core: manifest: %w", err)
+		}
+	}
+	cats := map[string]machine.Category{}
+	procs := map[string]map[uint32]string{}
+	for _, e := range man.Machines {
+		cats[safe(e.Name)] = machine.Category(e.Category)
+		procs[safe(e.Name)] = e.ProcNames
+	}
+	ds := &analysis.DataSet{}
+	for _, name := range store.Machines() {
+		recs, err := store.Records(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		mt := analysis.NewMachineTrace(name, cats[name], recs)
+		mt.ProcNames = procs[name]
+		ds.Machines = append(ds.Machines, mt)
+	}
+	var snaps []*snapshot.Snapshot
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".snap.json") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		snap, err := snapshot.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s: %w", e.Name(), err)
+		}
+		snaps = append(snaps, snap)
+	}
+	return ds, snaps, nil
+}

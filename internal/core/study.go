@@ -1,0 +1,254 @@
+// Package core is the library façade: it assembles the study of §2–§3 —
+// a fleet of simulated Windows NT 4.0 machines across the five usage
+// categories, each with generated file-system content, a category-matched
+// workload, a trace agent shipping filter-driver records to an in-process
+// collection store, and daily snapshots — runs it on one shared virtual
+// clock, and hands the collected corpus to the analysis layer.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/analysis"
+	"repro/internal/collect"
+	"repro/internal/fsgen"
+	"repro/internal/ntos/filter"
+	"repro/internal/ntos/irp"
+	"repro/internal/ntos/machine"
+	"repro/internal/ntos/volume"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/tracefmt"
+	"repro/internal/workload"
+)
+
+// Config parameterises a study.
+type Config struct {
+	// Seed drives every random stream; equal seeds give identical studies.
+	Seed uint64
+	// Machines is the fleet size (default 45, the paper's instrumented
+	// set). Categories are assigned in the paper's rough proportions.
+	Machines int
+	// Duration is the traced period (default 24 h; the paper ran 4 weeks).
+	Duration sim.Duration
+	// WithNetwork adds a per-user network share over the CIFS redirector
+	// (default on via NewStudy).
+	WithNetwork bool
+	// SnapshotAtStart takes a day-0 snapshot before the workload begins.
+	SnapshotAtStart bool
+	// FastIOBlocked inserts an Opaque (FastIO-refusing) filter on every
+	// volume — the §10 ablation.
+	FastIOBlocked bool
+	// CacheBytes overrides the per-machine file-cache size (0 = default).
+	CacheBytes int64
+}
+
+// categoryMix is the §2 fleet composition, proportions of 45.
+var categoryMix = []struct {
+	cat   machine.Category
+	count int
+}{
+	{machine.WalkUp, 12},
+	{machine.Pool, 10},
+	{machine.Personal, 13},
+	{machine.Administrative, 6},
+	{machine.Scientific, 4},
+}
+
+// Node is one machine with its apparatus.
+type Node struct {
+	M       *machine.Machine
+	Agent   *agent.Agent
+	Driver  *workload.Driver
+	Layout  *fsgen.Layout
+	Share   *fsgen.Layout
+	ShareFS *machine.Vol
+}
+
+// Study is one complete simulated trace collection.
+type Study struct {
+	Cfg   Config
+	Sched *sim.Scheduler
+	Nodes []*Node
+
+	// Store is the in-process collection server state.
+	Store *collect.Store
+	// Snapshots collects the agents' daily walks.
+	Snapshots []*snapshot.Snapshot
+
+	ran bool
+}
+
+// sink adapts the Study to agent.Sink.
+type sink struct{ s *Study }
+
+func (k sink) TraceBuffer(mch string, recs []tracefmt.Record) {
+	// Errors cannot occur before Finalize; ignore deliberately.
+	_ = k.s.Store.Append(mch, recs)
+}
+
+func (k sink) Snapshot(snap *snapshot.Snapshot) {
+	k.s.Snapshots = append(k.s.Snapshots, snap)
+}
+
+// NewStudy builds the fleet. Call Run, then DataSet or Results.
+func NewStudy(cfg Config) *Study {
+	if cfg.Machines <= 0 {
+		cfg.Machines = 45
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = sim.Day
+	}
+	s := &Study{
+		Cfg:   cfg,
+		Sched: sim.NewScheduler(),
+		Store: collect.NewStore(),
+	}
+	root := sim.NewRNG(cfg.Seed)
+
+	total := 0
+	for _, mix := range categoryMix {
+		total += mix.count
+	}
+	idx := 0
+	for _, mix := range categoryMix {
+		// Scale the paper's 45-machine mix to the requested fleet size.
+		n := (mix.count*cfg.Machines + total/2) / total
+		if n == 0 && cfg.Machines >= len(categoryMix) {
+			n = 1
+		}
+		for i := 0; i < n && idx < cfg.Machines; i++ {
+			s.addNode(fmt.Sprintf("%s-%02d", mix.cat, i+1), mix.cat, root.Fork(uint64(idx)+1))
+			idx++
+		}
+	}
+	// Top up with personal machines if rounding fell short.
+	for idx < cfg.Machines {
+		s.addNode(fmt.Sprintf("personal-x%02d", idx), machine.Personal, root.Fork(uint64(idx)+1))
+		idx++
+	}
+	return s
+}
+
+func (s *Study) addNode(name string, cat machine.Category, rng *sim.RNG) {
+	node := &Node{}
+	m := machine.New(s.Sched, rng.Fork(1), machine.Config{
+		Name:       name,
+		Category:   cat,
+		CacheBytes: s.Cfg.CacheBytes,
+		TraceFlush: func(recs []tracefmt.Record) {
+			if node.Agent != nil {
+				node.Agent.Flush(recs)
+			}
+		},
+	})
+	node.M = m
+
+	// Local volume: scientific machines get SCSI, the rest IDE (§2);
+	// roughly a fifth of local volumes were FAT-formatted in the era.
+	geo := volume.IDE1998
+	if cat == machine.Scientific {
+		geo = volume.SCSI1998
+	}
+	flavor := volume.FlavorNTFS
+	if rng.Bool(0.2) {
+		flavor = volume.FlavorFAT
+	}
+	m.AddVolume(`C:`, geo, flavor, false)
+
+	user := fmt.Sprintf("user%s", name[len(name)-2:])
+	node.Layout = fsgen.PopulateLocal(m.SystemVolume().FS, rng.Fork(2), fsgen.Config{
+		User: user, Category: cat, Now: 0,
+	})
+
+	if s.Cfg.WithNetwork {
+		prefix := `\\fs\` + user
+		node.ShareFS = m.AddVolume(prefix, volume.Redirector100Mb, volume.FlavorCIFS, true)
+		node.Share = fsgen.PopulateShare(node.ShareFS.FS, rng.Fork(3), fsgen.ShareConfig{
+			User: user, Now: 0, Scale: -1,
+		})
+	}
+
+	if s.Cfg.FastIOBlocked {
+		for _, v := range m.Volumes {
+			blockFastIO(v)
+		}
+	}
+
+	m.Start()
+	node.Agent = agent.New(m, sink{s})
+	node.Driver = workload.Install(m, node.Layout, rng.Fork(4))
+	if node.Share != nil {
+		p := workload.NewProc(m, "shareuser", `\\fs\`+user, rng.Fork(5))
+		node.Driver.AddApp(workload.NewShareUser(p, node.Share))
+	}
+	s.Nodes = append(s.Nodes, node)
+}
+
+// Run executes the study to its configured duration and finalizes the
+// collection store. It is idempotent.
+func (s *Study) Run() error {
+	if s.ran {
+		return nil
+	}
+	s.ran = true
+	for _, n := range s.Nodes {
+		n.Agent.Start()
+		if s.Cfg.SnapshotAtStart {
+			n.Agent.TakeSnapshots()
+		}
+		n.Driver.Start()
+	}
+	s.Sched.RunUntil(sim.Time(s.Cfg.Duration))
+	for _, n := range s.Nodes {
+		n.Driver.Stop()
+		n.Agent.TakeSnapshots() // closing snapshot
+		n.Agent.Stop()
+		n.M.Stop()
+	}
+	// Let the final flush shipments land.
+	s.Sched.RunUntil(s.Sched.Now().Add(sim.Minute))
+	return s.Store.Finalize()
+}
+
+// DataSet decodes the collected store into the analysis corpus.
+func (s *Study) DataSet() (*analysis.DataSet, error) {
+	ds := &analysis.DataSet{}
+	for _, n := range s.Nodes {
+		recs, err := s.Store.Records(n.M.Name)
+		if err != nil {
+			// A machine may legitimately have produced no records.
+			continue
+		}
+		mt := analysis.NewMachineTrace(n.M.Name, n.M.Category, recs)
+		mt.ProcNames = n.M.ProcNames
+		ds.Machines = append(ds.Machines, mt)
+	}
+	if len(ds.Machines) == 0 {
+		return nil, fmt.Errorf("core: study produced no trace data")
+	}
+	return ds, nil
+}
+
+// Results runs the full analysis over the collected corpus.
+func (s *Study) Results() (*report.Results, error) {
+	ds, err := s.DataSet()
+	if err != nil {
+		return nil, err
+	}
+	return report.Compute(ds), nil
+}
+
+// TotalEvents reports collected record counts across machines.
+func (s *Study) TotalEvents() int { return s.Store.TotalRecords() }
+
+// blockFastIO inserts the §10 Opaque filter on a volume — a filter driver
+// that implements no FastIO entry points, forcing every direct-path
+// attempt back onto the IRP path.
+func blockFastIO(v *machine.Vol) {
+	v.InsertFilter(func(next irp.Driver) irp.Driver {
+		return filter.NewOpaque("OpaqueFilter", next)
+	})
+}

@@ -1,0 +1,410 @@
+// Package dist provides the random-variate samplers the workload models
+// draw from. The paper's central statistical finding is that essentially
+// every file-system usage quantity — session inter-arrival times, holding
+// times, read/write sizes and frequencies, file sizes, run lengths — is
+// heavy-tailed (Hill estimates of the tail index α between 1.2 and 1.7),
+// so the package centres on bounded and unbounded Pareto samplers, plus
+// the Poisson/exponential/normal samplers used as the strawman comparison
+// in §7 (Figure 8/9).
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Sampler produces positive float64 variates.
+type Sampler interface {
+	// Sample draws one variate using r.
+	Sample(r *sim.RNG) float64
+	// Mean returns the theoretical mean, or +Inf when undefined/infinite.
+	Mean() float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// Constant always returns Value.
+type Constant struct{ Value float64 }
+
+// NewConstant returns a degenerate sampler that always yields v.
+func NewConstant(v float64) Constant { return Constant{Value: v} }
+
+func (c Constant) Sample(*sim.RNG) float64 { return c.Value }
+func (c Constant) Mean() float64           { return c.Value }
+func (c Constant) String() string          { return fmt.Sprintf("Constant(%g)", c.Value) }
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// NewUniform returns a uniform sampler over [lo, hi). It panics if hi < lo.
+func NewUniform(lo, hi float64) Uniform {
+	if hi < lo {
+		panic("dist: Uniform with hi < lo")
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+func (u Uniform) Sample(r *sim.RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+func (u Uniform) Mean() float64             { return (u.Lo + u.Hi) / 2 }
+func (u Uniform) String() string            { return fmt.Sprintf("Uniform[%g,%g)", u.Lo, u.Hi) }
+
+// Exponential samples from an exponential distribution with the given Rate
+// (mean 1/Rate). This is the inter-arrival distribution of a Poisson
+// process — the model §7 shows to be wrong for file-system arrivals.
+type Exponential struct{ Rate float64 }
+
+// NewExponential returns an exponential sampler. It panics if rate <= 0.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 {
+		panic("dist: Exponential with non-positive rate")
+	}
+	return Exponential{Rate: rate}
+}
+
+func (e Exponential) Sample(r *sim.RNG) float64 {
+	// Inverse-CDF; guard u=0.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / e.Rate
+}
+func (e Exponential) Mean() float64  { return 1 / e.Rate }
+func (e Exponential) String() string { return fmt.Sprintf("Exponential(rate=%g)", e.Rate) }
+
+// Pareto samples from an (unbounded) Pareto distribution with scale Xm > 0
+// and shape Alpha > 0: P[X > x] = (Xm/x)^Alpha for x >= Xm. For
+// 1 < Alpha < 2 the distribution has finite mean but infinite variance —
+// the regime the paper measures (α between 1.2 and 1.7).
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// NewPareto returns a Pareto sampler. It panics on non-positive parameters.
+func NewPareto(xm, alpha float64) Pareto {
+	if xm <= 0 || alpha <= 0 {
+		panic("dist: Pareto with non-positive parameter")
+	}
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+func (p Pareto) Sample(r *sim.RNG) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+func (p Pareto) String() string { return fmt.Sprintf("Pareto(xm=%g,α=%g)", p.Xm, p.Alpha) }
+
+// BoundedPareto is a Pareto truncated to [Lo, Hi]; useful for quantities
+// with a physical cap (a request cannot exceed the file size; a file cannot
+// exceed the disk). The tail remains power-law over the bounded range.
+type BoundedPareto struct {
+	Lo, Hi float64
+	Alpha  float64
+}
+
+// NewBoundedPareto returns a bounded Pareto sampler on [lo, hi]. It panics
+// if lo <= 0, hi <= lo, or alpha <= 0.
+func NewBoundedPareto(lo, hi, alpha float64) BoundedPareto {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic("dist: BoundedPareto with invalid parameters")
+	}
+	return BoundedPareto{Lo: lo, Hi: hi, Alpha: alpha}
+}
+
+func (p BoundedPareto) Sample(r *sim.RNG) float64 {
+	u := r.Float64()
+	la := math.Pow(p.Lo, p.Alpha)
+	ha := math.Pow(p.Hi, p.Alpha)
+	// Inverse CDF of the bounded Pareto.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	if x < p.Lo {
+		x = p.Lo
+	}
+	if x > p.Hi {
+		x = p.Hi
+	}
+	return x
+}
+
+func (p BoundedPareto) Mean() float64 {
+	a := p.Alpha
+	if a == 1 {
+		return p.Lo * p.Hi / (p.Hi - p.Lo) * math.Log(p.Hi/p.Lo)
+	}
+	la := math.Pow(p.Lo, a)
+	return la / (1 - math.Pow(p.Lo/p.Hi, a)) * (a / (a - 1)) *
+		(1/math.Pow(p.Lo, a-1) - 1/math.Pow(p.Hi, a-1))
+}
+func (p BoundedPareto) String() string {
+	return fmt.Sprintf("BoundedPareto[%g,%g](α=%g)", p.Lo, p.Hi, p.Alpha)
+}
+
+// Lognormal samples exp(N(Mu, Sigma^2)) — the body model for file sizes,
+// combined with a Pareto tail in Hybrid samplers.
+type Lognormal struct{ Mu, Sigma float64 }
+
+// NewLognormal returns a lognormal sampler. It panics if sigma <= 0.
+func NewLognormal(mu, sigma float64) Lognormal {
+	if sigma <= 0 {
+		panic("dist: Lognormal with non-positive sigma")
+	}
+	return Lognormal{Mu: mu, Sigma: sigma}
+}
+
+func (l Lognormal) Sample(r *sim.RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*normSample(r))
+}
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+func (l Lognormal) String() string {
+	return fmt.Sprintf("Lognormal(μ=%g,σ=%g)", l.Mu, l.Sigma)
+}
+
+// Normal samples N(Mu, Sigma^2); used only for the §7 comparison plots.
+type Normal struct{ Mu, Sigma float64 }
+
+// NewNormal returns a normal sampler. It panics if sigma < 0.
+func NewNormal(mu, sigma float64) Normal {
+	if sigma < 0 {
+		panic("dist: Normal with negative sigma")
+	}
+	return Normal{Mu: mu, Sigma: sigma}
+}
+
+func (n Normal) Sample(r *sim.RNG) float64 { return n.Mu + n.Sigma*normSample(r) }
+func (n Normal) Mean() float64             { return n.Mu }
+func (n Normal) String() string            { return fmt.Sprintf("Normal(μ=%g,σ=%g)", n.Mu, n.Sigma) }
+
+// normSample draws a standard normal variate by Marsaglia polar method.
+func normSample(r *sim.RNG) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Mixture selects component i with probability Weights[i] and samples it.
+// Weights are normalised at construction.
+type Mixture struct {
+	Components []Sampler
+	Weights    []float64
+	cum        []float64
+}
+
+// NewMixture builds a mixture sampler. It panics when the slices mismatch,
+// are empty, or the weights do not sum to a positive value.
+func NewMixture(components []Sampler, weights []float64) *Mixture {
+	if len(components) == 0 || len(components) != len(weights) {
+		panic("dist: Mixture components/weights mismatch")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: Mixture negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dist: Mixture zero total weight")
+	}
+	m := &Mixture{Components: components, Weights: make([]float64, len(weights)), cum: make([]float64, len(weights))}
+	acc := 0.0
+	for i, w := range weights {
+		m.Weights[i] = w / total
+		acc += w / total
+		m.cum[i] = acc
+	}
+	m.cum[len(m.cum)-1] = 1 // guard rounding
+	return m
+}
+
+func (m *Mixture) Sample(r *sim.RNG) float64 {
+	u := r.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+func (m *Mixture) Mean() float64 {
+	sum := 0.0
+	for i, c := range m.Components {
+		cm := c.Mean()
+		if math.IsInf(cm, 1) {
+			return math.Inf(1)
+		}
+		sum += m.Weights[i] * cm
+	}
+	return sum
+}
+
+func (m *Mixture) String() string { return fmt.Sprintf("Mixture(%d components)", len(m.Components)) }
+
+// Choice draws integer outcomes with fixed weights (e.g. picking a request
+// size from the observed {512, 4096, tiny, huge} mix of §8.2).
+type Choice struct {
+	Values  []float64
+	Weights []float64
+	cum     []float64
+}
+
+// NewChoice builds a weighted discrete sampler over values.
+func NewChoice(values, weights []float64) *Choice {
+	if len(values) == 0 || len(values) != len(weights) {
+		panic("dist: Choice values/weights mismatch")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: Choice negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dist: Choice zero total weight")
+	}
+	c := &Choice{Values: values, Weights: weights, cum: make([]float64, len(weights))}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		c.cum[i] = acc
+	}
+	c.cum[len(c.cum)-1] = 1
+	return c
+}
+
+func (c *Choice) Sample(r *sim.RNG) float64 {
+	u := r.Float64()
+	for i, cc := range c.cum {
+		if u < cc {
+			return c.Values[i]
+		}
+	}
+	return c.Values[len(c.Values)-1]
+}
+
+func (c *Choice) Mean() float64 {
+	total := 0.0
+	wsum := 0.0
+	for i := range c.Values {
+		total += c.Values[i] * c.Weights[i]
+		wsum += c.Weights[i]
+	}
+	return total / wsum
+}
+
+func (c *Choice) String() string { return fmt.Sprintf("Choice(%d values)", len(c.Values)) }
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^S; used
+// for file-popularity (which files a process re-opens).
+type Zipf struct {
+	N int
+	S float64
+	// cum is the precomputed cumulative mass.
+	cum []float64
+}
+
+// NewZipf builds a Zipf sampler over ranks [1, n]. It panics if n <= 0 or
+// s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 || s < 0 {
+		panic("dist: Zipf with invalid parameters")
+	}
+	z := &Zipf{N: n, S: s, cum: make([]float64, n)}
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += 1 / math.Pow(float64(i), s) / total
+		z.cum[i-1] = acc
+	}
+	z.cum[n-1] = 1
+	return z
+}
+
+// Rank draws a rank in [1, N].
+func (z *Zipf) Rank(r *sim.RNG) int {
+	u := r.Float64()
+	// Binary search the cumulative mass.
+	lo, hi := 0, z.N-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+func (z *Zipf) Sample(r *sim.RNG) float64 { return float64(z.Rank(r)) }
+
+func (z *Zipf) Mean() float64 {
+	total, norm := 0.0, 0.0
+	for i := 1; i <= z.N; i++ {
+		p := 1 / math.Pow(float64(i), z.S)
+		total += float64(i) * p
+		norm += p
+	}
+	return total / norm
+}
+
+func (z *Zipf) String() string { return fmt.Sprintf("Zipf(n=%d,s=%g)", z.N, z.S) }
+
+// Poisson draws counts from a Poisson distribution with mean Lambda; used
+// by stats.PoissonSynth when synthesising the Figure 8 comparison sample.
+type Poisson struct{ Lambda float64 }
+
+// NewPoisson returns a Poisson count sampler. It panics if lambda <= 0.
+func NewPoisson(lambda float64) Poisson {
+	if lambda <= 0 {
+		panic("dist: Poisson with non-positive lambda")
+	}
+	return Poisson{Lambda: lambda}
+}
+
+func (p Poisson) Sample(r *sim.RNG) float64 {
+	// For small lambda use Knuth's product method; for large, normal
+	// approximation with continuity correction (adequate for plotting).
+	if p.Lambda < 30 {
+		l := math.Exp(-p.Lambda)
+		k := 0
+		prod := 1.0
+		for {
+			prod *= r.Float64()
+			if prod <= l {
+				return float64(k)
+			}
+			k++
+		}
+	}
+	v := math.Round(p.Lambda + math.Sqrt(p.Lambda)*normSample(r))
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+func (p Poisson) Mean() float64  { return p.Lambda }
+func (p Poisson) String() string { return fmt.Sprintf("Poisson(λ=%g)", p.Lambda) }

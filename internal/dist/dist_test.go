@@ -1,0 +1,329 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func sampleN(s Sampler, n int, seed uint64) []float64 {
+	r := sim.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Sample(r)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func TestConstant(t *testing.T) {
+	c := NewConstant(3.5)
+	for _, v := range sampleN(c, 10, 1) {
+		if v != 3.5 {
+			t.Fatalf("Constant sample = %v", v)
+		}
+	}
+	if c.Mean() != 3.5 {
+		t.Errorf("Mean = %v", c.Mean())
+	}
+}
+
+func TestUniformBoundsAndMean(t *testing.T) {
+	u := NewUniform(2, 10)
+	xs := sampleN(u, 50000, 2)
+	for _, x := range xs {
+		if x < 2 || x >= 10 {
+			t.Fatalf("Uniform sample %v out of [2,10)", x)
+		}
+	}
+	if m := mean(xs); math.Abs(m-6) > 0.1 {
+		t.Errorf("Uniform mean = %v, want ~6", m)
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewUniform(5,1) did not panic")
+		}
+	}()
+	NewUniform(5, 1)
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := NewExponential(0.5) // mean 2
+	xs := sampleN(e, 100000, 3)
+	if m := mean(xs); math.Abs(m-2) > 0.05 {
+		t.Errorf("Exponential mean = %v, want ~2", m)
+	}
+	if e.Mean() != 2 {
+		t.Errorf("theoretical mean = %v", e.Mean())
+	}
+}
+
+func TestExponentialPositive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		return NewExponential(1).Sample(r) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	p := NewPareto(1, 1.5)
+	xs := sampleN(p, 200000, 4)
+	for _, x := range xs {
+		if x < 1 {
+			t.Fatalf("Pareto sample %v below xm", x)
+		}
+	}
+	// Empirical P[X > 10] should be ~10^-1.5 ≈ 0.0316.
+	count := 0
+	for _, x := range xs {
+		if x > 10 {
+			count++
+		}
+	}
+	frac := float64(count) / float64(len(xs))
+	if math.Abs(frac-0.0316) > 0.004 {
+		t.Errorf("P[X>10] = %v, want ~0.0316", frac)
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	if m := NewPareto(2, 1.5).Mean(); math.Abs(m-6) > 1e-9 {
+		t.Errorf("Pareto(2,1.5) mean = %v, want 6", m)
+	}
+	if m := NewPareto(1, 0.9).Mean(); !math.IsInf(m, 1) {
+		t.Errorf("Pareto α<1 mean = %v, want +Inf", m)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	p := NewBoundedPareto(100, 1e6, 1.2)
+	xs := sampleN(p, 100000, 5)
+	for _, x := range xs {
+		if x < 100 || x > 1e6 {
+			t.Fatalf("BoundedPareto sample %v out of range", x)
+		}
+	}
+	// Most mass near the low bound.
+	low := 0
+	for _, x := range xs {
+		if x < 1000 {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(len(xs)); frac < 0.8 {
+		t.Errorf("only %v of mass below 10*lo; expected heavy concentration", frac)
+	}
+}
+
+func TestBoundedParetoMeanMatchesEmpirical(t *testing.T) {
+	p := NewBoundedPareto(1, 1000, 1.5)
+	xs := sampleN(p, 500000, 6)
+	m := mean(xs)
+	th := p.Mean()
+	if math.Abs(m-th)/th > 0.05 {
+		t.Errorf("empirical mean %v vs theoretical %v", m, th)
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	l := NewLognormal(1, 0.5)
+	xs := sampleN(l, 300000, 7)
+	th := l.Mean()
+	if m := mean(xs); math.Abs(m-th)/th > 0.05 {
+		t.Errorf("Lognormal mean = %v, want ~%v", m, th)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	n := NewNormal(5, 2)
+	xs := sampleN(n, 200000, 8)
+	if m := mean(xs); math.Abs(m-5) > 0.05 {
+		t.Errorf("Normal mean = %v", m)
+	}
+	varsum := 0.0
+	for _, x := range xs {
+		varsum += (x - 5) * (x - 5)
+	}
+	if v := varsum / float64(len(xs)); math.Abs(v-4) > 0.1 {
+		t.Errorf("Normal variance = %v, want ~4", v)
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(
+		[]Sampler{NewConstant(1), NewConstant(100)},
+		[]float64{3, 1},
+	)
+	xs := sampleN(m, 100000, 9)
+	ones := 0
+	for _, x := range xs {
+		if x == 1 {
+			ones++
+		}
+	}
+	if frac := float64(ones) / float64(len(xs)); math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("component-1 fraction = %v, want ~0.75", frac)
+	}
+	if got := m.Mean(); math.Abs(got-25.75) > 1e-9 {
+		t.Errorf("Mixture mean = %v, want 25.75", got)
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched mixture did not panic")
+		}
+	}()
+	NewMixture([]Sampler{NewConstant(1)}, []float64{1, 2})
+}
+
+func TestChoice(t *testing.T) {
+	c := NewChoice([]float64{512, 4096}, []float64{1, 1})
+	xs := sampleN(c, 50000, 10)
+	count512 := 0
+	for _, x := range xs {
+		if x != 512 && x != 4096 {
+			t.Fatalf("Choice produced %v", x)
+		}
+		if x == 512 {
+			count512++
+		}
+	}
+	if frac := float64(count512) / float64(len(xs)); math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("512 fraction = %v", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := sim.NewRNG(11)
+	counts := make([]int, 101)
+	for i := 0; i < 100000; i++ {
+		counts[z.Rank(r)]++
+	}
+	if counts[1] <= counts[10] || counts[10] <= counts[100] {
+		t.Errorf("Zipf not rank-skewed: c1=%d c10=%d c100=%d", counts[1], counts[10], counts[100])
+	}
+	// Rank 1 should get ~1/H_100 ≈ 0.192 of the mass.
+	if frac := float64(counts[1]) / 100000; math.Abs(frac-0.192) > 0.01 {
+		t.Errorf("rank-1 mass = %v, want ~0.192", frac)
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	z := NewZipf(5, 0.8)
+	r := sim.NewRNG(12)
+	for i := 0; i < 10000; i++ {
+		k := z.Rank(r)
+		if k < 1 || k > 5 {
+			t.Fatalf("Zipf rank %d out of [1,5]", k)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, lambda := range []float64{0.5, 5, 50, 200} {
+		p := NewPoisson(lambda)
+		xs := sampleN(p, 100000, 13)
+		if m := mean(xs); math.Abs(m-lambda)/lambda > 0.05 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, m)
+		}
+	}
+}
+
+func TestPoissonNonNegativeInteger(t *testing.T) {
+	p := NewPoisson(3)
+	for _, x := range sampleN(p, 10000, 14) {
+		if x < 0 || x != math.Trunc(x) {
+			t.Fatalf("Poisson produced %v", x)
+		}
+	}
+}
+
+func TestOnOffProgress(t *testing.T) {
+	o := HeavyTailOnOff()
+	r := sim.NewRNG(15)
+	total := 0.0
+	for i := 0; i < 10000; i++ {
+		d := o.Next(r)
+		if d < 0 {
+			t.Fatalf("OnOff produced negative delay %v", d)
+		}
+		total += d
+	}
+	if total <= 0 {
+		t.Error("OnOff never advanced time")
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	// Count events per 1-second bin; a bursty source leaves most bins empty
+	// while some bins hold many events (the paper's "only 24% of 1-second
+	// intervals have open requests").
+	o := HeavyTailOnOff()
+	r := sim.NewRNG(16)
+	now := 0.0
+	bins := make(map[int]int)
+	for i := 0; i < 50000; i++ {
+		now += o.Next(r)
+		bins[int(now)]++
+	}
+	busy := len(bins)
+	span := int(now)
+	if span == 0 {
+		t.Fatal("no time elapsed")
+	}
+	occupancy := float64(busy) / float64(span)
+	if occupancy > 0.6 {
+		t.Errorf("bin occupancy %v; source not bursty", occupancy)
+	}
+	max := 0
+	for _, c := range bins {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 20 {
+		t.Errorf("max events in a 1-second bin = %d; expected bursts", max)
+	}
+}
+
+func TestOnOffDeterminism(t *testing.T) {
+	a, b := HeavyTailOnOff(), HeavyTailOnOff()
+	ra, rb := sim.NewRNG(17), sim.NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		if a.Next(ra) != b.Next(rb) {
+			t.Fatal("OnOff not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestSamplerStrings(t *testing.T) {
+	samplers := []Sampler{
+		NewConstant(1), NewUniform(0, 1), NewExponential(1), NewPareto(1, 1.5),
+		NewBoundedPareto(1, 10, 1.2), NewLognormal(0, 1), NewNormal(0, 1),
+		NewMixture([]Sampler{NewConstant(1)}, []float64{1}),
+		NewChoice([]float64{1}, []float64{1}), NewZipf(3, 1), NewPoisson(2),
+	}
+	for _, s := range samplers {
+		if s.String() == "" {
+			t.Errorf("%T has empty String()", s)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package fsgen
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/ntos/fsys"
+	"repro/internal/ntos/machine"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+)
+
+func genLocal(t *testing.T, seed uint64, cat machine.Category) (*fsys.FS, *Layout) {
+	t.Helper()
+	fs := fsys.New(volume.FlavorNTFS, 4<<30)
+	rng := sim.NewRNG(seed)
+	lay := PopulateLocal(fs, rng, Config{User: "alice", Category: cat, Now: sim.Time(30 * sim.Day)})
+	return fs, lay
+}
+
+func TestLocalFileCountInBand(t *testing.T) {
+	// §5: local file systems have 24,000–45,000 files. Allow modest
+	// slack for seed variance across categories.
+	for seed := uint64(1); seed <= 5; seed++ {
+		for _, cat := range []machine.Category{machine.Personal, machine.Pool, machine.Scientific} {
+			fs, _ := genLocal(t, seed, cat)
+			if fs.FileCount < 8000 || fs.FileCount > 60000 {
+				t.Errorf("seed %d cat %v: %d files, outside plausible band", seed, cat, fs.FileCount)
+			}
+		}
+	}
+}
+
+func TestFullnessBand(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		fs, _ := genLocal(t, seed, machine.Personal)
+		f := fs.FullnessFraction()
+		if f < 0.50 || f > 0.90 {
+			t.Errorf("seed %d: fullness %.2f outside [0.54, 0.87] band", seed, f)
+		}
+	}
+}
+
+func TestWebCacheBand(t *testing.T) {
+	// §5: WWW cache 2,000–9,500 files and 5–45 MB.
+	fs, lay := genLocal(t, 3, machine.Personal)
+	if len(lay.WebFiles) < 1000 || len(lay.WebFiles) > 9500 {
+		t.Errorf("web cache files = %d", len(lay.WebFiles))
+	}
+	var bytes int64
+	node, st := fs.Lookup(lay.WebCache)
+	if st.IsError() {
+		t.Fatalf("web cache dir missing: %v", st)
+	}
+	var count int
+	fs.Walk(func(n *fsys.Node) bool {
+		if strings.HasPrefix(n.Path(), lay.WebCache) && !n.IsDir() {
+			bytes += n.Size
+			count++
+		}
+		return true
+	})
+	_ = node
+	if bytes < 4<<20 || bytes > 50<<20 {
+		t.Errorf("web cache bytes = %d MB", bytes>>20)
+	}
+	if count != len(lay.WebFiles) {
+		t.Errorf("layout lists %d web files, tree has %d", len(lay.WebFiles), count)
+	}
+}
+
+func TestProfileHoldsMostUserFiles(t *testing.T) {
+	// §5: 87%–99% of locally stored user files live in the profile tree.
+	// User files = docs + web cache + mail (not system/apps/dev).
+	_, lay := genLocal(t, 4, machine.Personal)
+	inProfile := 0
+	total := 0
+	for _, set := range [][]string{lay.Documents, lay.WebFiles, lay.MailFiles} {
+		for _, p := range set {
+			total++
+			if strings.HasPrefix(p, lay.Profile) {
+				inProfile++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no user files generated")
+	}
+	frac := float64(inProfile) / float64(total)
+	if frac < 0.87 {
+		t.Errorf("profile fraction = %.2f, want >= 0.87", frac)
+	}
+}
+
+func TestSizeDistributionDominatedByImages(t *testing.T) {
+	// §5: executables, DLLs and fonts dominate the file-size tail.
+	fs, _ := genLocal(t, 5, machine.Personal)
+	type fileInfo struct {
+		size int64
+		ext  string
+	}
+	var files []fileInfo
+	fs.Walk(func(n *fsys.Node) bool {
+		if !n.IsDir() {
+			files = append(files, fileInfo{n.Size, n.Ext()})
+		}
+		return true
+	})
+	sort.Slice(files, func(i, j int) bool { return files[i].size > files[j].size })
+	top := files[:len(files)/100] // top 1% by size
+	img := 0
+	for _, f := range top {
+		switch f.ext {
+		case "exe", "dll", "ttf", "fon", "mbx":
+			img++
+		}
+	}
+	if frac := float64(img) / float64(len(top)); frac < 0.5 {
+		t.Errorf("images+fonts are only %.2f of the top-1%% sizes", frac)
+	}
+}
+
+func TestScientificDataFiles(t *testing.T) {
+	_, lay := genLocal(t, 6, machine.Scientific)
+	if len(lay.DataFiles) == 0 {
+		t.Fatal("no data files on a scientific machine")
+	}
+	fs, _ := genLocal(t, 6, machine.Scientific)
+	_ = fs
+	for _, p := range lay.DataFiles {
+		if !strings.HasPrefix(p, `\data\`) {
+			t.Errorf("data file %q outside \\data", p)
+		}
+	}
+}
+
+func TestDevTreeOnPoolMachines(t *testing.T) {
+	_, lay := genLocal(t, 7, machine.Pool)
+	if lay.DevDir == "" || len(lay.DevSources) == 0 || len(lay.DevObjects) == 0 {
+		t.Errorf("pool machine missing dev tree: dir=%q src=%d obj=%d",
+			lay.DevDir, len(lay.DevSources), len(lay.DevObjects))
+	}
+}
+
+func TestLayoutPathsResolve(t *testing.T) {
+	fs, lay := genLocal(t, 8, machine.Pool)
+	check := func(name string, paths []string) {
+		for _, p := range paths {
+			if _, st := fs.Lookup(p); st.IsError() {
+				t.Errorf("%s path %q does not resolve: %v", name, p, st)
+				return
+			}
+		}
+	}
+	check("exe", lay.Executables)
+	check("dll", lay.Libraries)
+	check("font", lay.Fonts)
+	check("doc", lay.Documents)
+	check("web", lay.WebFiles)
+	check("mail", lay.MailFiles)
+	check("src", lay.DevSources)
+	for _, d := range []string{lay.Profile, lay.WebCache, lay.MailDir, lay.DocsDir, lay.TempDir, lay.SystemDir} {
+		n, st := fs.Lookup(d)
+		if st.IsError() || !n.IsDir() {
+			t.Errorf("layout dir %q invalid: %v", d, st)
+		}
+	}
+}
+
+func TestTimestampInconsistencies(t *testing.T) {
+	// §5: 2–4% of files have last-change newer than last-access, and
+	// installers back-date creation times.
+	fs, _ := genLocal(t, 9, machine.Personal)
+	total, inconsistent, backdated := 0, 0, 0
+	now := sim.Time(30 * sim.Day)
+	fs.Walk(func(n *fsys.Node) bool {
+		if n.IsDir() {
+			return true
+		}
+		total++
+		if n.LastModified > n.LastAccessed {
+			inconsistent++
+		}
+		if n.Created < now-sim.Time(300*sim.Day) {
+			backdated++
+		}
+		return true
+	})
+	frac := float64(inconsistent) / float64(total)
+	if frac < 0.01 || frac > 0.08 {
+		t.Errorf("inconsistent-time fraction = %.3f, want ~0.02-0.04", frac)
+	}
+	if backdated == 0 {
+		t.Error("no installer-backdated creation times")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	fs1, lay1 := genLocal(t, 10, machine.Personal)
+	fs2, lay2 := genLocal(t, 10, machine.Personal)
+	if fs1.FileCount != fs2.FileCount || fs1.UsedBytes != fs2.UsedBytes {
+		t.Errorf("same seed produced different systems: %d/%d files, %d/%d bytes",
+			fs1.FileCount, fs2.FileCount, fs1.UsedBytes, fs2.UsedBytes)
+	}
+	if len(lay1.WebFiles) != len(lay2.WebFiles) {
+		t.Error("web cache differs across same-seed runs")
+	}
+}
+
+func TestShareScaleBands(t *testing.T) {
+	// §5: shares from 150 files / 500 KB to 27,000 files / 700 MB.
+	small := fsys.New(volume.FlavorCIFS, 1<<40)
+	PopulateShare(small, sim.NewRNG(11), ShareConfig{User: "bob", Scale: 0})
+	if small.FileCount < 150 || small.FileCount > 400 {
+		t.Errorf("scale-0 share has %d files", small.FileCount)
+	}
+	big := fsys.New(volume.FlavorCIFS, 1<<40)
+	PopulateShare(big, sim.NewRNG(12), ShareConfig{User: "carol", Scale: 1})
+	if big.FileCount < 20000 {
+		t.Errorf("scale-1 share has %d files", big.FileCount)
+	}
+	random := fsys.New(volume.FlavorCIFS, 1<<40)
+	lay := PopulateShare(random, sim.NewRNG(13), ShareConfig{User: "dave", Scale: -1})
+	if len(lay.Documents) == 0 {
+		t.Error("random share empty")
+	}
+}

@@ -1,0 +1,123 @@
+package cachemgr
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ntos/fsys"
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+)
+
+// TestRandomCacheTrafficPreservesAccounting drives random reads, writes,
+// flushes and purges over several files and checks after every step that
+//   - the resident count matches the sum of per-map pages,
+//   - per-map dirty counters match the actual dirty pages,
+//   - resident pages never exceed capacity plus the (unevictable) dirty
+//     pages.
+func TestRandomCacheTrafficPreservesAccounting(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		h := newHarness(32 * PageSize)
+		type entry struct {
+			node *fsys.Node
+			fo   *types.FileObject
+			cm   *SharedCacheMap
+		}
+		var entries []entry
+		for i := 0; i < 5; i++ {
+			node, st := h.fs.CreateFile(fmt.Sprintf(`\f%d`, i), 1<<20, types.AttrNormal, 0)
+			if st.IsError() {
+				return false
+			}
+			fo := &types.FileObject{ID: types.FileObjectID(i + 1), RefCount: 1, FsContext: node, FileSize: node.Size}
+			cm := h.m.InitializeCacheMap(fo, node)
+			entries = append(entries, entry{node, fo, cm})
+		}
+
+		check := func(afterFault bool) bool {
+			total, dirtyTotal := 0, 0
+			for _, e := range entries {
+				perMapDirty := 0
+				for _, p := range e.cm.pages {
+					total++
+					if p.dirty {
+						perMapDirty++
+					}
+				}
+				if perMapDirty != e.cm.dirty {
+					return false
+				}
+				dirtyTotal += perMapDirty
+			}
+			if total != h.m.ResidentPages() {
+				return false
+			}
+			// Immediately after a fault-in, clean pages are bounded by the
+			// capacity (dirty pages are unevictable and may exceed it;
+			// FlushFile can also convert dirty pages to clean in place, so
+			// the bound only holds right after eviction ran).
+			if afterFault && total-dirtyTotal > 32+1 {
+				return false
+			}
+			return true
+		}
+
+		for op := 0; op < 300; op++ {
+			e := entries[rng.Intn(len(entries))]
+			off := rng.Int63n(1 << 20)
+			n := 1 + rng.Intn(32*1024)
+			if off+int64(n) > e.node.Size {
+				n = int(e.node.Size - off)
+				if n <= 0 {
+					n = 1
+				}
+			}
+			afterFault := false
+			switch rng.Intn(5) {
+			case 0, 1:
+				h.m.CopyRead(e.fo, e.cm, off, n, 1)
+				afterFault = true
+			case 2:
+				h.m.CopyWrite(e.fo, e.cm, off, n)
+			case 3:
+				h.m.FlushFile(e.node, 1)
+			case 4:
+				h.m.Purge(e.node)
+			}
+			// Drain any scheduled read-ahead.
+			h.sched.RunUntil(h.sched.Now().Add(sim.Millisecond))
+			if !check(afterFault) {
+				t.Logf("accounting broken at op %d (seed %d)", op, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLazyWriterAlwaysDrains: whatever the dirty pattern, some scans of
+// the lazy writer leave nothing dirty (no starvation).
+func TestLazyWriterAlwaysDrains(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		h := newHarness(0)
+		h.m.StartLazyWriter()
+		node, _ := h.fs.CreateFile(`\w`, 4<<20, types.AttrNormal, 0)
+		fo := &types.FileObject{ID: 1, RefCount: 1, FsContext: node, FileSize: node.Size}
+		cm := h.m.InitializeCacheMap(fo, node)
+		for i := 0; i < 30; i++ {
+			h.m.CopyWrite(fo, cm, rng.Int63n(4<<20-70000), 1+rng.Intn(64*1024))
+		}
+		h.sched.RunUntil(h.sched.Now().Add(120 * sim.Second))
+		h.m.StopLazyWriter()
+		return h.m.DirtyPages(node) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+package cachemgr
+
+import (
+	"testing"
+
+	"repro/internal/ntos/fsys"
+	"repro/internal/ntos/irp"
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+)
+
+// harness wires a Manager to a recording paging target.
+type harness struct {
+	sched  *sim.Scheduler
+	m      *Manager
+	fs     *fsys.FS
+	paging []*irp.Request
+	closed []*types.FileObject
+}
+
+func newHarness(capacity int64) *harness {
+	h := &harness{sched: sim.NewScheduler()}
+	h.m = New(h.sched, Config{CapacityBytes: capacity})
+	h.fs = fsys.New(volume.FlavorNTFS, 1<<30)
+	h.m.Wire(
+		irp.TargetFunc(func(rq *irp.Request) {
+			h.paging = append(h.paging, rq)
+			rq.Status = types.StatusSuccess
+			rq.Information = int64(rq.Length)
+		}),
+		func(fo *types.FileObject) { h.closed = append(h.closed, fo) },
+	)
+	return h
+}
+
+func (h *harness) file(t *testing.T, path string, size int64) (*fsys.Node, *types.FileObject, *SharedCacheMap) {
+	t.Helper()
+	node, st := h.fs.CreateFile(path, size, types.AttrNormal, 0)
+	if st.IsError() {
+		t.Fatalf("create %s: %v", path, st)
+	}
+	fo := &types.FileObject{ID: 1, Path: path, RefCount: 1, FsContext: node, FileSize: size}
+	cm := h.m.InitializeCacheMap(fo, node)
+	return node, fo, cm
+}
+
+func TestInitializeCacheMapTakesReference(t *testing.T) {
+	h := newHarness(0)
+	_, fo, cm := h.file(t, `\a`, 10000)
+	if fo.RefCount != 2 {
+		t.Errorf("refcount after init = %d, want 2", fo.RefCount)
+	}
+	if !fo.Flags.Has(types.FOCacheInitialized) {
+		t.Error("FOCacheInitialized not set")
+	}
+	if cm.ReadAhead != DefaultReadAhead {
+		t.Errorf("read-ahead granularity = %d for a small file", cm.ReadAhead)
+	}
+}
+
+func TestReadAheadGranularityBoost(t *testing.T) {
+	h := newHarness(0)
+	_, _, cm := h.file(t, `\big`, 1<<20)
+	if cm.ReadAhead != BoostedReadAhead {
+		t.Errorf("granularity = %d, want boosted %d", cm.ReadAhead, BoostedReadAhead)
+	}
+}
+
+func TestCopyReadMissThenHit(t *testing.T) {
+	h := newHarness(0)
+	_, fo, cm := h.file(t, `\f`, 64*1024)
+	if hit := h.m.CopyRead(fo, cm, 0, 4096, 1); hit {
+		t.Error("first read reported a cache hit")
+	}
+	if len(h.paging) == 0 {
+		t.Fatal("miss issued no paging read")
+	}
+	if !h.paging[0].IsPaging() {
+		t.Error("paging read lacks IrpPaging flag")
+	}
+	if hit := h.m.CopyRead(fo, cm, 0, 4096, 1); !hit {
+		t.Error("second read missed")
+	}
+	if h.m.Stats.ReadsFromCache != 1 || h.m.Stats.ReadRequests != 2 {
+		t.Errorf("stats: %+v", h.m.Stats)
+	}
+}
+
+func TestInitialReadAheadScheduled(t *testing.T) {
+	h := newHarness(0)
+	_, fo, cm := h.file(t, `\f`, 1<<20)
+	h.m.CopyRead(fo, cm, 0, 4096, 1)
+	// The read-ahead runs asynchronously shortly after.
+	h.sched.RunUntil(h.sched.Now().Add(sim.Millisecond))
+	var ra *irp.Request
+	for _, rq := range h.paging {
+		if rq.ReadAhead {
+			ra = rq
+		}
+	}
+	if ra == nil {
+		t.Fatal("no read-ahead issued after first read")
+	}
+	// Boosted granularity: the prefetch covers 64 KB.
+	if ra.Length+4096 < BoostedReadAhead {
+		t.Errorf("read-ahead length = %d", ra.Length)
+	}
+	// Pages are now resident: the next sequential read hits.
+	if hit := h.m.CopyRead(fo, cm, 4096, 8192, 1); !hit {
+		t.Error("read inside prefetched region missed")
+	}
+}
+
+func TestSequentialOnlyDoublesReadAhead(t *testing.T) {
+	run := func(seqOnly bool) int64 {
+		h := newHarness(0)
+		_, fo, cm := h.file(t, `\f`, 4<<20)
+		if seqOnly {
+			fo.Flags |= types.FOSequentialOnly
+		}
+		h.m.CopyRead(fo, cm, 0, 4096, 1)
+		h.sched.RunUntil(h.sched.Now().Add(sim.Millisecond))
+		var total int64
+		for _, rq := range h.paging {
+			if rq.ReadAhead {
+				total += int64(rq.Length)
+			}
+		}
+		return total
+	}
+	normal := run(false)
+	doubled := run(true)
+	if doubled < 2*normal-int64(PageSize) {
+		t.Errorf("sequential-only prefetch %d not ~double %d", doubled, normal)
+	}
+}
+
+func TestThirdSequentialReadTriggersNextReadAhead(t *testing.T) {
+	h := newHarness(0)
+	_, fo, cm := h.file(t, `\f`, 4<<20)
+	h.m.CopyRead(fo, cm, 0, 4096, 1)
+	h.sched.RunUntil(h.sched.Now().Add(sim.Millisecond))
+	raBefore := h.m.Stats.ReadAheadOps
+	// Sequential reads within the first prefetch: by the 3rd, the next
+	// granule must be scheduled once the streak requires data beyond.
+	off := int64(4096)
+	for i := 0; i < 20; i++ {
+		h.m.CopyRead(fo, cm, off, 8192, 1)
+		off += 8192
+		h.sched.RunUntil(h.sched.Now().Add(sim.Millisecond))
+	}
+	if h.m.Stats.ReadAheadOps <= raBefore {
+		t.Error("no follow-on read-ahead for a long sequential scan")
+	}
+}
+
+func TestFuzzySequentialMatching(t *testing.T) {
+	// §9.1: the low 7 bits are masked, so gaps < 128 bytes still count as
+	// sequential.
+	h := newHarness(0)
+	_, fo, cm := h.file(t, `\f`, 1<<20)
+	h.m.CopyRead(fo, cm, 0, 1000, 1)
+	h.m.CopyRead(fo, cm, 1100, 1000, 1) // 100-byte gap: still sequential
+	if fo.SequentialStreak != 2 {
+		t.Errorf("streak = %d after fuzzy-sequential read, want 2", fo.SequentialStreak)
+	}
+	h.m.CopyRead(fo, cm, 500000, 1000, 1) // jump: breaks the streak
+	if fo.SequentialStreak != 1 {
+		t.Errorf("streak = %d after jump, want 1", fo.SequentialStreak)
+	}
+}
+
+func TestCopyWriteMarksDirtyAndLazyWriterFlushes(t *testing.T) {
+	h := newHarness(0)
+	node, fo, cm := h.file(t, `\w`, 0)
+	h.m.StartLazyWriter()
+	h.m.CopyWrite(fo, cm, 0, 32*1024)
+	if h.m.DirtyPages(node) != 8 {
+		t.Fatalf("dirty pages = %d, want 8", h.m.DirtyPages(node))
+	}
+	// Run several lazy-writer scans.
+	h.sched.RunUntil(h.sched.Now().Add(10 * sim.Second))
+	if h.m.DirtyPages(node) != 0 {
+		t.Errorf("dirty pages after scans = %d", h.m.DirtyPages(node))
+	}
+	lazySeen := false
+	for _, rq := range h.paging {
+		if rq.LazyWrite {
+			lazySeen = true
+			if rq.Length > BoostedReadAhead {
+				t.Errorf("lazy write of %d bytes exceeds 64 KB cap", rq.Length)
+			}
+		}
+	}
+	if !lazySeen {
+		t.Error("no lazy writes recorded")
+	}
+	h.m.StopLazyWriter()
+}
+
+func TestFlushFileSynchronous(t *testing.T) {
+	h := newHarness(0)
+	node, fo, cm := h.file(t, `\w`, 0)
+	h.m.CopyWrite(fo, cm, 0, 16*1024)
+	if n := h.m.FlushFile(node, 1); n != 4 {
+		t.Errorf("flushed %d pages, want 4", n)
+	}
+	if h.m.DirtyPages(node) != 0 {
+		t.Error("dirty pages remain after flush")
+	}
+	if h.m.FlushFile(node, 1) != 0 {
+		t.Error("second flush wrote pages")
+	}
+}
+
+func TestTemporaryFilesNotLazyWritten(t *testing.T) {
+	h := newHarness(0)
+	node, _, _ := h.file(t, `\t.tmp`, 0)
+	fo2 := &types.FileObject{ID: 2, Path: `\t.tmp`, RefCount: 1, FsContext: node,
+		Flags: types.FOTemporaryFile}
+	cm := h.m.InitializeCacheMap(fo2, node)
+	if !cm.Temporary {
+		t.Fatal("cache map not marked temporary")
+	}
+	h.m.StartLazyWriter()
+	h.m.CopyWrite(fo2, cm, 0, 16*1024)
+	h.sched.RunUntil(h.sched.Now().Add(5 * sim.Second))
+	for _, rq := range h.paging {
+		if rq.LazyWrite {
+			t.Fatal("lazy writer flushed a temporary file")
+		}
+	}
+	h.m.StopLazyWriter()
+}
+
+func TestCleanupImmediateReleaseSendsClose(t *testing.T) {
+	h := newHarness(0)
+	node, fo, cm := h.file(t, `\r`, 8192)
+	h.m.CopyRead(fo, cm, 0, 4096, 1)
+	fo.Dereference() // the handle goes away
+	h.m.Cleanup(fo, node)
+	h.sched.RunUntil(h.sched.Now().Add(sim.Millisecond))
+	if len(h.closed) != 1 {
+		t.Fatalf("closes sent = %d", len(h.closed))
+	}
+	if h.m.Stats.CleanupImmediate != 1 {
+		t.Errorf("CleanupImmediate = %d", h.m.Stats.CleanupImmediate)
+	}
+}
+
+func TestCleanupDeferredUntilFlush(t *testing.T) {
+	h := newHarness(0)
+	node, fo, cm := h.file(t, `\w`, 0)
+	h.m.StartLazyWriter()
+	h.m.CopyWrite(fo, cm, 0, 64*1024)
+	fo.Dereference()
+	h.m.Cleanup(fo, node)
+	if len(h.closed) != 0 {
+		t.Fatal("close sent before dirty pages flushed")
+	}
+	if h.m.Stats.CleanupDeferred != 1 {
+		t.Errorf("CleanupDeferred = %d", h.m.Stats.CleanupDeferred)
+	}
+	h.sched.RunUntil(h.sched.Now().Add(10 * sim.Second))
+	if len(h.closed) != 1 {
+		t.Fatalf("close not delivered after flush; closes = %d", len(h.closed))
+	}
+	// §8.3: a SetEndOfFile precedes the close of a written file.
+	seofSeen := false
+	for _, rq := range h.paging {
+		if rq.Major == types.IrpMjSetInformation && rq.InfoClass == types.SetInfoEndOfFile {
+			seofSeen = true
+		}
+	}
+	if !seofSeen {
+		t.Error("no SetEndOfFile before deferred close")
+	}
+	h.m.StopLazyWriter()
+}
+
+func TestPurgeCountsDirtyDiscards(t *testing.T) {
+	h := newHarness(0)
+	node, fo, cm := h.file(t, `\p`, 0)
+	h.m.CopyWrite(fo, cm, 0, 8192)
+	if n := h.m.Purge(node); n != 2 {
+		t.Errorf("purged dirty = %d, want 2", n)
+	}
+	if h.m.Stats.PurgedDirty != 1 {
+		t.Errorf("PurgedDirty = %d", h.m.Stats.PurgedDirty)
+	}
+	if h.m.ResidentPages() != 0 {
+		t.Errorf("resident after purge = %d", h.m.ResidentPages())
+	}
+	// Purging a clean or unknown file counts no dirty pages.
+	if n := h.m.Purge(node); n != 0 {
+		t.Errorf("re-purge = %d", n)
+	}
+}
+
+func TestLRUEvictionUnderPressure(t *testing.T) {
+	// Capacity of 16 pages; touch 32 clean pages.
+	h := newHarness(16 * PageSize)
+	_, fo, cm := h.file(t, `\big`, 1<<20)
+	for off := int64(0); off < 32*PageSize; off += PageSize {
+		h.m.CopyRead(fo, cm, off, PageSize, 1)
+	}
+	if h.m.ResidentPages() > 16 {
+		t.Errorf("resident = %d exceeds capacity 16", h.m.ResidentPages())
+	}
+	if h.m.Stats.EvictedPages == 0 {
+		t.Error("no evictions under pressure")
+	}
+}
+
+func TestDirtyPagesNeverEvicted(t *testing.T) {
+	h := newHarness(4 * PageSize)
+	node, fo, cm := h.file(t, `\d`, 0)
+	h.m.CopyWrite(fo, cm, 0, 8*PageSize) // 8 dirty pages, capacity 4
+	if h.m.DirtyPages(node) != 8 {
+		t.Errorf("dirty pages = %d; dirty data must not be dropped", h.m.DirtyPages(node))
+	}
+}
+
+func TestDropMap(t *testing.T) {
+	h := newHarness(0)
+	node, fo, cm := h.file(t, `\x`, 8192)
+	h.m.CopyRead(fo, cm, 0, 4096, 1)
+	h.m.DropMap(node)
+	if h.m.MapFor(node) != nil {
+		t.Error("map survives DropMap")
+	}
+	if h.m.ResidentPages() != 0 {
+		t.Error("pages survive DropMap")
+	}
+}

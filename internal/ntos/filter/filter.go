@@ -1,0 +1,64 @@
+// Package filter provides the transparent driver-layering support the
+// paper's trace instrumentation exploits (§3.2): filter drivers attach on
+// top of a file system driver, see every IRP and FastIO call, and forward
+// them down the chain. PassThrough is the well-behaved base; Opaque
+// demonstrates the §10 failure mode of a filter that does not implement
+// the FastIO entry points and thereby blocks the I/O manager's direct path
+// to the cache ("severely handicap the system").
+package filter
+
+import (
+	"repro/internal/ntos/irp"
+	"repro/internal/ntos/types"
+)
+
+// PassThrough forwards everything to Next unchanged. Embed it to build
+// filters that intercept selectively.
+type PassThrough struct {
+	Name string
+	Next irp.Driver
+}
+
+// NewPassThrough creates a pass-through filter over next.
+func NewPassThrough(name string, next irp.Driver) *PassThrough {
+	return &PassThrough{Name: name, Next: next}
+}
+
+// DriverName implements irp.Driver.
+func (p *PassThrough) DriverName() string { return p.Name }
+
+// Dispatch implements irp.Driver.
+func (p *PassThrough) Dispatch(rq *irp.Request) { p.Next.Dispatch(rq) }
+
+// FastIo implements irp.Driver by forwarding to the next driver.
+func (p *PassThrough) FastIo(call types.FastIoCall, rq *irp.Request) bool {
+	return p.Next.FastIo(call, rq)
+}
+
+// Opaque forwards IRPs but implements no FastIO entry points, modelling a
+// badly written filter: every FastIO attempt fails and the I/O manager
+// retries over the IRP path, with the measurable latency penalty the §10
+// ablation benchmark demonstrates.
+type Opaque struct {
+	Name string
+	Next irp.Driver
+	// RefusedFastIo counts blocked direct-path attempts.
+	RefusedFastIo uint64
+}
+
+// NewOpaque creates an opaque (FastIO-blocking) filter over next.
+func NewOpaque(name string, next irp.Driver) *Opaque {
+	return &Opaque{Name: name, Next: next}
+}
+
+// DriverName implements irp.Driver.
+func (o *Opaque) DriverName() string { return o.Name }
+
+// Dispatch implements irp.Driver.
+func (o *Opaque) Dispatch(rq *irp.Request) { o.Next.Dispatch(rq) }
+
+// FastIo implements irp.Driver by refusing every call.
+func (o *Opaque) FastIo(types.FastIoCall, *irp.Request) bool {
+	o.RefusedFastIo++
+	return false
+}

@@ -1,0 +1,82 @@
+package filter
+
+import (
+	"testing"
+
+	"repro/internal/ntos/irp"
+	"repro/internal/ntos/types"
+)
+
+// stub is a terminal driver that records calls.
+type stub struct {
+	dispatched []*irp.Request
+	fastCalls  []types.FastIoCall
+	fastResult bool
+}
+
+func (s *stub) DriverName() string { return "stub" }
+
+func (s *stub) Dispatch(rq *irp.Request) {
+	s.dispatched = append(s.dispatched, rq)
+	rq.Status = types.StatusSuccess
+}
+
+func (s *stub) FastIo(call types.FastIoCall, rq *irp.Request) bool {
+	s.fastCalls = append(s.fastCalls, call)
+	return s.fastResult
+}
+
+func TestPassThroughForwardsBoth(t *testing.T) {
+	base := &stub{fastResult: true}
+	f := NewPassThrough("filter", base)
+	rq := &irp.Request{Major: types.IrpMjRead}
+	f.Dispatch(rq)
+	if len(base.dispatched) != 1 || rq.Status != types.StatusSuccess {
+		t.Fatal("IRP not forwarded")
+	}
+	if !f.FastIo(types.FastIoRead, rq) {
+		t.Error("FastIO result not forwarded")
+	}
+	if len(base.fastCalls) != 1 || base.fastCalls[0] != types.FastIoRead {
+		t.Errorf("FastIO call not forwarded: %v", base.fastCalls)
+	}
+	if f.DriverName() != "filter" {
+		t.Errorf("name = %q", f.DriverName())
+	}
+}
+
+func TestOpaqueBlocksFastIoButForwardsIRPs(t *testing.T) {
+	base := &stub{fastResult: true}
+	o := NewOpaque("opaque", base)
+	rq := &irp.Request{Major: types.IrpMjWrite}
+	o.Dispatch(rq)
+	if len(base.dispatched) != 1 {
+		t.Fatal("IRP not forwarded through opaque filter")
+	}
+	// Every FastIO call must be refused without reaching the base driver.
+	for c := 0; c < types.NumFastIoCalls; c++ {
+		if o.FastIo(types.FastIoCall(c), rq) {
+			t.Fatalf("opaque filter passed FastIO call %v", types.FastIoCall(c))
+		}
+	}
+	if len(base.fastCalls) != 0 {
+		t.Error("FastIO leaked through the opaque filter")
+	}
+	if o.RefusedFastIo != uint64(types.NumFastIoCalls) {
+		t.Errorf("RefusedFastIo = %d", o.RefusedFastIo)
+	}
+}
+
+func TestFilterChain(t *testing.T) {
+	base := &stub{fastResult: true}
+	inner := NewPassThrough("inner", base)
+	outer := NewPassThrough("outer", inner)
+	rq := &irp.Request{Major: types.IrpMjCleanup}
+	outer.Dispatch(rq)
+	if len(base.dispatched) != 1 {
+		t.Error("two-deep chain broke IRP forwarding")
+	}
+	if !outer.FastIo(types.FastIoQueryBasicInfo, rq) {
+		t.Error("two-deep chain broke FastIO forwarding")
+	}
+}

@@ -1,0 +1,196 @@
+package fsdrv
+
+import (
+	"testing"
+
+	"repro/internal/ntos/cachemgr"
+	"repro/internal/ntos/fsys"
+	"repro/internal/ntos/irp"
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+)
+
+// rig builds a bare driver (no I/O manager) for direct IRP injection.
+type rig struct {
+	d     *Driver
+	fs    *fsys.FS
+	sched *sim.Scheduler
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(3)
+	cache := cachemgr.New(sched, cachemgr.Config{})
+	cache.Wire(irp.TargetFunc(func(rq *irp.Request) {
+		rq.Status = types.StatusSuccess
+		rq.Information = int64(rq.Length)
+	}), nil)
+	dev := volume.New("C:", volume.IDE1998, volume.FlavorNTFS, rng.Fork(1))
+	fs := fsys.New(volume.FlavorNTFS, 1<<30)
+	return &rig{d: New("ntfs", fs, dev, cache, sched, rng.Fork(2)), fs: fs, sched: sched}
+}
+
+// open dispatches a create and returns the request.
+func (r *rig) open(path string, disp types.CreateDisposition, opts types.CreateOptions) *irp.Request {
+	rq := &irp.Request{
+		Major: types.IrpMjCreate, Path: path, Disposition: disp, Options: opts,
+		FileObject: &types.FileObject{ID: 1, Path: "C:" + path, RefCount: 1},
+	}
+	r.d.Dispatch(rq)
+	return rq
+}
+
+func TestCreateResultInformation(t *testing.T) {
+	r := newRig(t)
+	rq := r.open(`\new.txt`, types.DispositionCreate, 0)
+	if rq.Status.IsError() || types.CreateResult(rq.Information) != types.FileCreated {
+		t.Errorf("create: %v info=%d", rq.Status, rq.Information)
+	}
+	rq2 := r.open(`\new.txt`, types.DispositionOpen, 0)
+	if types.CreateResult(rq2.Information) != types.FileOpened {
+		t.Errorf("open info = %d", rq2.Information)
+	}
+	rq3 := r.open(`\new.txt`, types.DispositionOverwriteIf, 0)
+	if types.CreateResult(rq3.Information) != types.FileOverwritten {
+		t.Errorf("overwrite info = %d", rq3.Information)
+	}
+	rq4 := r.open(`\new.txt`, types.DispositionSupersede, 0)
+	if types.CreateResult(rq4.Information) != types.FileSuperseded {
+		t.Errorf("supersede info = %d", rq4.Information)
+	}
+}
+
+func TestOverwriteCarriesPreTruncateSize(t *testing.T) {
+	r := newRig(t)
+	r.open(`\f`, types.DispositionCreate, 0)
+	node, _ := r.fs.Lookup(`\f`)
+	r.fs.SetSize(node, 12345, 0)
+	rq := r.open(`\f`, types.DispositionOverwrite, 0)
+	if rq.Offset != 12345 {
+		t.Errorf("pre-truncate size = %d, want 12345", rq.Offset)
+	}
+	if node.Size != 0 {
+		t.Errorf("size after overwrite = %d", node.Size)
+	}
+}
+
+func TestDirectoryVsFileDispositionErrors(t *testing.T) {
+	r := newRig(t)
+	r.open(`\dir`, types.DispositionCreate, types.OptDirectoryFile)
+	r.open(`\file`, types.DispositionCreate, 0)
+
+	rq := r.open(`\dir`, types.DispositionOpen, types.OptNonDirectoryFile)
+	if rq.Status != types.StatusFileIsADirectory {
+		t.Errorf("open dir as file: %v", rq.Status)
+	}
+	rq = r.open(`\file`, types.DispositionOpen, types.OptDirectoryFile)
+	if rq.Status != types.StatusNotADirectory {
+		t.Errorf("open file as dir: %v", rq.Status)
+	}
+}
+
+func TestDeletePendingBlocksOpen(t *testing.T) {
+	r := newRig(t)
+	rq := r.open(`\doomed`, types.DispositionCreate, 0)
+	node, _ := r.fs.Lookup(`\doomed`)
+	set := &irp.Request{Major: types.IrpMjSetInformation,
+		InfoClass: types.SetInfoDisposition, DeleteFile: true,
+		FileObject: rq.FileObject}
+	r.d.Dispatch(set)
+	if set.Status.IsError() {
+		t.Fatalf("set disposition: %v", set.Status)
+	}
+	if !node.DeletePending {
+		t.Fatal("delete-pending not set")
+	}
+	again := r.open(`\doomed`, types.DispositionOpen, 0)
+	if again.Status != types.StatusDeletePending {
+		t.Errorf("open of delete-pending file: %v", again.Status)
+	}
+}
+
+func TestRenameViaSetInformation(t *testing.T) {
+	r := newRig(t)
+	rq := r.open(`\old.txt`, types.DispositionCreate, 0)
+	mv := &irp.Request{Major: types.IrpMjSetInformation,
+		InfoClass: types.SetInfoRename, TargetPath: `\new-name.txt`,
+		FileObject: rq.FileObject}
+	r.d.Dispatch(mv)
+	if mv.Status.IsError() {
+		t.Fatalf("rename: %v", mv.Status)
+	}
+	if _, st := r.fs.Lookup(`\new-name.txt`); st.IsError() {
+		t.Error("rename target missing")
+	}
+	if _, st := r.fs.Lookup(`\old.txt`); !st.IsError() {
+		t.Error("rename source still present")
+	}
+}
+
+func TestMiscIrpsSucceed(t *testing.T) {
+	r := newRig(t)
+	rq := r.open(`\x`, types.DispositionCreate, 0)
+	for _, mj := range []types.MajorFunction{
+		types.IrpMjQueryVolumeInformation, types.IrpMjSetVolumeInformation,
+		types.IrpMjQueryEa, types.IrpMjSetEa,
+		types.IrpMjQuerySecurity, types.IrpMjSetSecurity, types.IrpMjPnp,
+	} {
+		q := &irp.Request{Major: mj, FileObject: rq.FileObject}
+		r.d.Dispatch(q)
+		if q.Status.IsError() {
+			t.Errorf("%v: %v", mj, q.Status)
+		}
+	}
+}
+
+func TestFsctlVolumeMountedViaIRPAndFastIO(t *testing.T) {
+	r := newRig(t)
+	rq := r.open(`\v`, types.DispositionCreate, 0)
+	c := &irp.Request{Major: types.IrpMjFileSystemControl,
+		Minor: types.IrpMnUserFsRequest, FsControl: types.FsctlIsVolumeMounted,
+		FileObject: rq.FileObject}
+	r.d.Dispatch(c)
+	if c.Status.IsError() {
+		t.Errorf("FSCTL via IRP: %v", c.Status)
+	}
+	if !r.d.FastIo(types.FastIoDeviceControl, c) {
+		t.Error("volume-mounted FastIO refused")
+	}
+	// Other device controls fall back to the IRP path.
+	c2 := &irp.Request{FsControl: types.FsctlGetCompression, FileObject: rq.FileObject}
+	if r.d.FastIo(types.FastIoDeviceControl, c2) {
+		t.Error("non-trivial FSCTL accepted on the fast path")
+	}
+}
+
+func TestFastIoQueryInfoNeedsNode(t *testing.T) {
+	r := newRig(t)
+	orphan := &irp.Request{FileObject: &types.FileObject{ID: 9, RefCount: 1}}
+	if r.d.FastIo(types.FastIoQueryBasicInfo, orphan) {
+		t.Error("query-info succeeded without an opened file")
+	}
+	rq := r.open(`\q`, types.DispositionCreate, 0)
+	q := &irp.Request{FileObject: rq.FileObject}
+	if !r.d.FastIo(types.FastIoQueryBasicInfo, q) {
+		t.Error("query-info refused on an open file")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	r := newRig(t)
+	r.open(`\a`, types.DispositionCreate, 0)
+	r.open(`\missing`, types.DispositionOpen, 0)
+	r.open(`\a`, types.DispositionCreate, 0) // collision
+	s := r.d.Stats
+	if s.OpensSucceeded != 1 || s.OpensFailed != 2 {
+		t.Errorf("opens: %+v", s)
+	}
+	if s.OpenNotFound != 1 || s.OpenCollision != 1 {
+		t.Errorf("errors: %+v", s)
+	}
+	if s.IrpByMajor[types.IrpMjCreate] != 3 {
+		t.Errorf("create count = %d", s.IrpByMajor[types.IrpMjCreate])
+	}
+}

@@ -1,0 +1,331 @@
+// Package fsys holds the in-memory state of one simulated file system
+// volume: the directory tree, file metadata (sizes, the three NT time
+// attributes, attribute flags) and space accounting. It deliberately does
+// not store file *contents* — every statistic in the paper derives from
+// metadata and transfer sizes, so the simulation tracks ranges, not bytes.
+//
+// Timestamp fidelity follows §5: on FAT volumes creation and last-access
+// times are not maintained; on all volumes the times are under application
+// control, so the simulation can (and the workload generators deliberately
+// do, for a small fraction of files) produce the inconsistencies the paper
+// observed — e.g. last-change more recent than last-access in 2–4% of
+// files, and installer-backdated creation times.
+package fsys
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+)
+
+// Node is a file or directory.
+type Node struct {
+	Name   string
+	Parent *Node
+	Attrs  types.FileAttributes
+
+	// Size in bytes; zero for directories.
+	Size int64
+
+	// The three NT time attributes (§5): unreliable by design.
+	Created      sim.Time
+	LastModified sim.Time
+	LastAccessed sim.Time
+
+	// children is nil for regular files.
+	children map[string]*Node
+
+	// OpenCount tracks live FileObjects referencing this node so deletion
+	// can be deferred NT-style (delete-pending until last close).
+	OpenCount int
+	// DeletePending marks the node for removal at last close.
+	DeletePending bool
+}
+
+// IsDir reports whether the node is a directory.
+func (n *Node) IsDir() bool { return n.children != nil }
+
+// Orphaned reports whether the node has been unlinked from the tree (the
+// volume root is never orphaned).
+func (n *Node) Orphaned() bool { return n.Parent == nil && n.Name != "" }
+
+// Path returns the full path of the node from the volume root.
+func (n *Node) Path() string {
+	if n.Parent == nil {
+		return `\`
+	}
+	parts := []string{}
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		parts = append(parts, cur.Name)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('\\')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// Ext returns the lower-cased file extension without the dot ("" if none).
+func (n *Node) Ext() string {
+	e := path.Ext(n.Name)
+	if e == "" {
+		return ""
+	}
+	return strings.ToLower(e[1:])
+}
+
+// ChildNames returns the sorted child names (directories only).
+func (n *Node) ChildNames() []string {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Child returns the named child, or nil.
+func (n *Node) Child(name string) *Node {
+	return n.children[strings.ToLower(name)]
+}
+
+// NumChildren returns the number of entries in a directory.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// FS is one volume's file-system state.
+type FS struct {
+	Flavor volume.Flavor
+	Root   *Node
+
+	// Capacity and usage for the §5 "file systems are 54%–87% full" check.
+	CapacityBytes int64
+	UsedBytes     int64
+
+	// Counts maintained incrementally.
+	FileCount int
+	DirCount  int
+}
+
+// New creates an empty file system of the given flavor and capacity.
+func New(flavor volume.Flavor, capacity int64) *FS {
+	root := &Node{Name: "", children: map[string]*Node{}, Attrs: types.AttrDirectory}
+	return &FS{Flavor: flavor, Root: root, CapacityBytes: capacity, DirCount: 1}
+}
+
+// splitPath normalises a backslash path into components.
+func splitPath(p string) []string {
+	p = strings.Trim(strings.ReplaceAll(p, "/", `\`), `\`)
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, `\`)
+}
+
+// Lookup resolves a path to a node. It returns StatusObjectPathNotFound if
+// an intermediate component is missing or not a directory, and
+// StatusObjectNameNotFound if only the final component is missing.
+func (fs *FS) Lookup(p string) (*Node, types.Status) {
+	parts := splitPath(p)
+	cur := fs.Root
+	for i, part := range parts {
+		if !cur.IsDir() {
+			return nil, types.StatusObjectPathNotFound
+		}
+		next := cur.Child(part)
+		if next == nil {
+			if i == len(parts)-1 {
+				return nil, types.StatusObjectNameNotFound
+			}
+			return nil, types.StatusObjectPathNotFound
+		}
+		cur = next
+	}
+	return cur, types.StatusSuccess
+}
+
+// Mkdir creates a directory (and returns it); parents must exist.
+func (fs *FS) Mkdir(p string, now sim.Time) (*Node, types.Status) {
+	return fs.create(p, true, 0, types.AttrDirectory, now)
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *FS) MkdirAll(p string, now sim.Time) (*Node, types.Status) {
+	parts := splitPath(p)
+	cur := fs.Root
+	for _, part := range parts {
+		next := cur.Child(part)
+		if next == nil {
+			n, st := fs.createIn(cur, part, true, 0, types.AttrDirectory, now)
+			if st.IsError() {
+				return nil, st
+			}
+			next = n
+		}
+		if !next.IsDir() {
+			return nil, types.StatusNotADirectory
+		}
+		cur = next
+	}
+	return cur, types.StatusSuccess
+}
+
+// CreateFile creates a regular file of the given size; the parent must
+// exist. Fails with StatusObjectNameCollision if the name exists.
+func (fs *FS) CreateFile(p string, size int64, attrs types.FileAttributes, now sim.Time) (*Node, types.Status) {
+	return fs.create(p, false, size, attrs, now)
+}
+
+func (fs *FS) create(p string, dir bool, size int64, attrs types.FileAttributes, now sim.Time) (*Node, types.Status) {
+	parts := splitPath(p)
+	if len(parts) == 0 {
+		return nil, types.StatusObjectNameCollision
+	}
+	parentPath := strings.Join(parts[:len(parts)-1], `\`)
+	parent, st := fs.Lookup(parentPath)
+	if st.IsError() {
+		return nil, types.StatusObjectPathNotFound
+	}
+	if !parent.IsDir() {
+		return nil, types.StatusNotADirectory
+	}
+	return fs.createIn(parent, parts[len(parts)-1], dir, size, attrs, now)
+}
+
+func (fs *FS) createIn(parent *Node, name string, dir bool, size int64, attrs types.FileAttributes, now sim.Time) (*Node, types.Status) {
+	key := strings.ToLower(name)
+	if parent.children[key] != nil {
+		return nil, types.StatusObjectNameCollision
+	}
+	if !dir && fs.UsedBytes+size > fs.CapacityBytes {
+		return nil, types.StatusDiskFull
+	}
+	n := &Node{Name: name, Parent: parent, Attrs: attrs, Size: size}
+	if dir {
+		n.children = map[string]*Node{}
+		n.Attrs |= types.AttrDirectory
+		fs.DirCount++
+	} else {
+		fs.FileCount++
+		fs.UsedBytes += size
+	}
+	fs.stampCreate(n, now)
+	parent.children[key] = n
+	return n, types.StatusSuccess
+}
+
+// stampCreate sets the initial timestamps subject to flavor fidelity.
+func (fs *FS) stampCreate(n *Node, now sim.Time) {
+	n.LastModified = now
+	if fs.Flavor != volume.FlavorFAT {
+		n.Created = now
+		n.LastAccessed = now
+	}
+}
+
+// TouchAccess updates the last-access time (NTFS only).
+func (fs *FS) TouchAccess(n *Node, now sim.Time) {
+	if fs.Flavor != volume.FlavorFAT {
+		n.LastAccessed = now
+	}
+}
+
+// TouchModify updates the last-modified (and access) time.
+func (fs *FS) TouchModify(n *Node, now sim.Time) {
+	n.LastModified = now
+	fs.TouchAccess(n, now)
+}
+
+// SetSize truncates or extends a file, adjusting space accounting.
+func (fs *FS) SetSize(n *Node, size int64, now sim.Time) types.Status {
+	if n.IsDir() {
+		return types.StatusFileIsADirectory
+	}
+	delta := size - n.Size
+	if delta > 0 && fs.UsedBytes+delta > fs.CapacityBytes {
+		return types.StatusDiskFull
+	}
+	fs.UsedBytes += delta
+	n.Size = size
+	fs.TouchModify(n, now)
+	return types.StatusSuccess
+}
+
+// Remove unlinks a node immediately. Directories must be empty.
+func (fs *FS) Remove(n *Node) types.Status {
+	if n.Parent == nil {
+		return types.StatusAccessDenied
+	}
+	if n.IsDir() {
+		if len(n.children) > 0 {
+			return types.StatusAccessDenied
+		}
+		fs.DirCount--
+	} else {
+		fs.FileCount--
+		fs.UsedBytes -= n.Size
+	}
+	delete(n.Parent.children, strings.ToLower(n.Name))
+	n.Parent = nil
+	return types.StatusSuccess
+}
+
+// Rename moves a node to a new full path; the target parent must exist and
+// the target name must be free.
+func (fs *FS) Rename(n *Node, newPath string) types.Status {
+	parts := splitPath(newPath)
+	if len(parts) == 0 {
+		return types.StatusInvalidParameter
+	}
+	parent, st := fs.Lookup(strings.Join(parts[:len(parts)-1], `\`))
+	if st.IsError() {
+		return types.StatusObjectPathNotFound
+	}
+	if !parent.IsDir() {
+		return types.StatusNotADirectory
+	}
+	newName := parts[len(parts)-1]
+	if parent.Child(newName) != nil {
+		return types.StatusObjectNameCollision
+	}
+	delete(n.Parent.children, strings.ToLower(n.Name))
+	n.Name = newName
+	n.Parent = parent
+	parent.children[strings.ToLower(newName)] = n
+	return types.StatusSuccess
+}
+
+// Walk visits every node under root depth-first (directories before their
+// children), calling fn. fn returning false prunes that subtree.
+func (fs *FS) Walk(fn func(*Node) bool) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if !fn(n) {
+			return
+		}
+		if n.IsDir() {
+			for _, name := range n.ChildNames() {
+				rec(n.Child(name))
+			}
+		}
+	}
+	rec(fs.Root)
+}
+
+// FullnessFraction returns used/capacity.
+func (fs *FS) FullnessFraction() float64 {
+	if fs.CapacityBytes == 0 {
+		return 0
+	}
+	return float64(fs.UsedBytes) / float64(fs.CapacityBytes)
+}
+
+func (fs *FS) String() string {
+	return fmt.Sprintf("FS(%s, %d files, %d dirs, %.0f%% full)",
+		fs.Flavor, fs.FileCount, fs.DirCount, fs.FullnessFraction()*100)
+}

@@ -1,0 +1,136 @@
+package fsys
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+)
+
+// TestRandomOperationSequencesPreserveInvariants drives random
+// create/resize/rename/remove sequences and checks the accounting
+// invariants after every step:
+//   - UsedBytes equals the sum of file sizes in the tree,
+//   - FileCount/DirCount match a fresh walk,
+//   - every reachable node's Path() resolves back to itself.
+func TestRandomOperationSequencesPreserveInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		fs := New(volume.FlavorNTFS, 1<<24)
+		var files []*Node
+		var dirs []*Node
+		dirs = append(dirs, fs.Root)
+
+		check := func() bool {
+			var bytes int64
+			var nf, nd int
+			ok := true
+			fs.Walk(func(n *Node) bool {
+				if n.IsDir() {
+					nd++
+				} else {
+					nf++
+					bytes += n.Size
+				}
+				if got, st := fs.Lookup(n.Path()); st.IsError() || got != n {
+					ok = false
+				}
+				return true
+			})
+			return ok && bytes == fs.UsedBytes && nf == fs.FileCount && nd == fs.DirCount
+		}
+
+		for op := 0; op < 120; op++ {
+			switch rng.Intn(5) {
+			case 0: // create file
+				d := dirs[rng.Intn(len(dirs))]
+				name := fmt.Sprintf("f%d", op)
+				path := d.Path()
+				if path == `\` {
+					path = ""
+				}
+				n, st := fs.CreateFile(path+`\`+name, rng.Int63n(10000), types.AttrNormal, sim.Time(op))
+				if !st.IsError() {
+					files = append(files, n)
+				}
+			case 1: // create dir
+				d := dirs[rng.Intn(len(dirs))]
+				path := d.Path()
+				if path == `\` {
+					path = ""
+				}
+				n, st := fs.Mkdir(path+fmt.Sprintf(`\d%d`, op), sim.Time(op))
+				if !st.IsError() {
+					dirs = append(dirs, n)
+				}
+			case 2: // resize
+				if len(files) > 0 {
+					n := files[rng.Intn(len(files))]
+					if !n.Orphaned() {
+						fs.SetSize(n, rng.Int63n(20000), sim.Time(op))
+					}
+				}
+			case 3: // remove a file
+				if len(files) > 0 {
+					i := rng.Intn(len(files))
+					if !files[i].Orphaned() {
+						fs.Remove(files[i])
+					}
+					files = append(files[:i], files[i+1:]...)
+				}
+			case 4: // rename a file into another directory
+				if len(files) > 0 {
+					n := files[rng.Intn(len(files))]
+					if n.Orphaned() {
+						continue
+					}
+					d := dirs[rng.Intn(len(dirs))]
+					path := d.Path()
+					if path == `\` {
+						path = ""
+					}
+					fs.Rename(n, path+fmt.Sprintf(`\r%d`, op))
+				}
+			}
+			if !check() {
+				t.Logf("invariant broken at op %d (seed %d)", op, seed)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCapacityNeverExceeded: no random sequence of creates and grows may
+// push UsedBytes past CapacityBytes.
+func TestCapacityNeverExceeded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		fs := New(volume.FlavorNTFS, 50_000)
+		var nodes []*Node
+		for op := 0; op < 200; op++ {
+			if rng.Bool(0.6) || len(nodes) == 0 {
+				n, st := fs.CreateFile(fmt.Sprintf(`\f%d`, op), rng.Int63n(5000), types.AttrNormal, 0)
+				if !st.IsError() {
+					nodes = append(nodes, n)
+				}
+			} else {
+				fs.SetSize(nodes[rng.Intn(len(nodes))], rng.Int63n(30000), 0)
+			}
+			if fs.UsedBytes > fs.CapacityBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

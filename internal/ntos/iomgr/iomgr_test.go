@@ -1,0 +1,171 @@
+package iomgr
+
+import (
+	"testing"
+
+	"repro/internal/ntos/cachemgr"
+	"repro/internal/ntos/fsdrv"
+	"repro/internal/ntos/fsys"
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+)
+
+// rig assembles an I/O manager with two mounts (local + share).
+func newRig(t *testing.T) (*IOManager, *fsys.FS, *fsys.FS) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(4)
+	io := New(sched)
+	cache := cachemgr.New(sched, cachemgr.Config{})
+	mk := func(prefix string, flavor volume.Flavor, remote bool, seed uint64) *fsys.FS {
+		dev := volume.New(prefix, volume.IDE1998, flavor, rng.Fork(seed))
+		fs := fsys.New(flavor, 1<<30)
+		fsd := fsdrv.New(prefix, fs, dev, cache, sched, rng.Fork(seed+1))
+		io.AddMount(&Mount{Prefix: prefix, Top: fsd, FS: fs, Remote: remote})
+		return fs
+	}
+	local := mk(`C:`, volume.FlavorNTFS, false, 10)
+	share := mk(`\\fs\bob`, volume.FlavorCIFS, true, 20)
+	io.ResolveCacheTarget(cache)
+	return io, local, share
+}
+
+func TestMountResolution(t *testing.T) {
+	io, _, _ := newRig(t)
+	mt, rel := io.MountFor(`C:\winnt\notepad.exe`)
+	if mt == nil || mt.Prefix != `C:` || rel != `\winnt\notepad.exe` {
+		t.Fatalf("MountFor local: %v %q", mt, rel)
+	}
+	mt, rel = io.MountFor(`\\fs\bob\docs\x.doc`)
+	if mt == nil || !mt.Remote || rel != `\docs\x.doc` {
+		t.Fatalf("MountFor share: %v %q", mt, rel)
+	}
+	// Case-insensitive prefixes.
+	if mt, _ := io.MountFor(`c:\lower`); mt == nil {
+		t.Error("lower-case drive not resolved")
+	}
+	if mt, _ := io.MountFor(`D:\other`); mt != nil {
+		t.Error("unknown drive resolved")
+	}
+}
+
+func TestCreateOnUnknownVolume(t *testing.T) {
+	io, _, _ := newRig(t)
+	if _, st := io.CreateFile(1, `Z:\nope`, types.AccessRead,
+		types.DispositionOpen, 0, 0); st != types.StatusObjectPathNotFound {
+		t.Errorf("unknown volume: %v", st)
+	}
+}
+
+func TestInvalidHandleOperations(t *testing.T) {
+	io, _, _ := newRig(t)
+	bad := Handle(999)
+	if _, st := io.ReadFile(1, bad, 0, 10); st != types.StatusInvalidParameter {
+		t.Errorf("read: %v", st)
+	}
+	if _, st := io.WriteFile(1, bad, 0, 10); st != types.StatusInvalidParameter {
+		t.Errorf("write: %v", st)
+	}
+	if st := io.CloseHandle(1, bad); st != types.StatusInvalidParameter {
+		t.Errorf("close: %v", st)
+	}
+	if st := io.FlushFileBuffers(1, bad); st != types.StatusInvalidParameter {
+		t.Errorf("flush: %v", st)
+	}
+	if _, st := io.QueryDirectory(1, bad); st != types.StatusInvalidParameter {
+		t.Errorf("querydir: %v", st)
+	}
+	if st := io.SetEndOfFile(1, bad, 0); st != types.StatusInvalidParameter {
+		t.Errorf("seteof: %v", st)
+	}
+}
+
+func TestCurrentOffsetSemantics(t *testing.T) {
+	io, _, _ := newRig(t)
+	h, st := io.CreateFile(1, `C:\seq`, types.AccessRead|types.AccessWrite,
+		types.DispositionCreate, 0, 0)
+	if st.IsError() {
+		t.Fatal(st)
+	}
+	io.WriteFile(1, h, -1, 100) // offset 0
+	io.WriteFile(1, h, -1, 100) // offset 100
+	fo := io.Lookup(h)
+	if fo.CurrentByteOffset != 200 {
+		t.Errorf("offset = %d, want 200", fo.CurrentByteOffset)
+	}
+	if n, st := io.ReadFile(1, h, 0, 200); st.IsError() || n != 200 {
+		t.Errorf("read back: n=%d st=%v", n, st)
+	}
+}
+
+func TestRemoteSessionsWork(t *testing.T) {
+	io, _, share := newRig(t)
+	share.MkdirAll(`\docs`, 0)
+	h, st := io.CreateFile(1, `\\fs\bob\docs\r.doc`, types.AccessWrite,
+		types.DispositionCreate, 0, 0)
+	if st.IsError() {
+		t.Fatalf("remote create: %v", st)
+	}
+	if n, st := io.WriteFile(1, h, 0, 5000); st.IsError() || n != 5000 {
+		t.Errorf("remote write: %d %v", n, st)
+	}
+	io.CloseHandle(1, h)
+	if _, st := share.Lookup(`\docs\r.doc`); st.IsError() {
+		t.Error("file missing on share")
+	}
+}
+
+func TestSetEndOfFileAndRename(t *testing.T) {
+	io, local, _ := newRig(t)
+	h, _ := io.CreateFile(1, `C:\trunc`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.WriteFile(1, h, 0, 9000)
+	if st := io.SetEndOfFile(1, h, 1234); st.IsError() {
+		t.Fatalf("set eof: %v", st)
+	}
+	node, _ := local.Lookup(`\trunc`)
+	if node.Size != 1234 {
+		t.Errorf("size = %d", node.Size)
+	}
+	if st := io.Rename(1, h, `C:\renamed`); st.IsError() {
+		t.Fatalf("rename: %v", st)
+	}
+	if _, st := local.Lookup(`\renamed`); st.IsError() {
+		t.Error("rename target missing")
+	}
+	io.CloseHandle(1, h)
+}
+
+func TestFastIOStatsAccounting(t *testing.T) {
+	io, _, _ := newRig(t)
+	h, _ := io.CreateFile(1, `C:\f`, types.AccessRead|types.AccessWrite,
+		types.DispositionCreate, 0, 0)
+	io.WriteFile(1, h, 0, 8192)  // first write: IRP (cache not initialized)
+	io.WriteFile(1, h, -1, 4096) // FastIO
+	io.ReadFile(1, h, 0, 4096)   // FastIO
+	st := io.Stats
+	if st.WritesIrp != 1 || st.WritesFast != 1 {
+		t.Errorf("writes: irp=%d fast=%d", st.WritesIrp, st.WritesFast)
+	}
+	if st.ReadsFast != 1 || st.ReadsIrp != 0 {
+		t.Errorf("reads: irp=%d fast=%d", st.ReadsIrp, st.ReadsFast)
+	}
+	if st.FastIoSucceeded < 2 {
+		t.Errorf("fast successes = %d", st.FastIoSucceeded)
+	}
+	io.CloseHandle(1, h)
+}
+
+func TestPagingReadFlags(t *testing.T) {
+	io, local, _ := newRig(t)
+	local.CreateFile(`\img.exe`, 100000, types.AttrNormal, 0)
+	h, _ := io.CreateFile(1, `C:\img.exe`, types.AccessRead|types.AccessExecute,
+		types.DispositionOpen, 0, 0)
+	if st := io.PagingRead(1, h, 0, 65536); st.IsError() {
+		t.Fatalf("paging read: %v", st)
+	}
+	io.CloseHandle(1, h)
+	if st := io.PagingRead(1, Handle(12345), 0, 100); st != types.StatusInvalidParameter {
+		t.Errorf("paging read bad handle: %v", st)
+	}
+}

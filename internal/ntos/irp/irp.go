@@ -1,0 +1,112 @@
+// Package irp defines the I/O request packet — the unit of work the
+// simulated NT I/O manager sends down a driver stack — and the Driver
+// interface every stack member (filter drivers, the trace driver, the file
+// system drivers) implements. §3.2 of the paper describes the two access
+// mechanisms modelled here: the generic packet-based IRP path and the
+// FastIO direct-method-invocation path.
+package irp
+
+import (
+	"fmt"
+
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+)
+
+// Request is an I/O request packet plus the FastIO-call parameter block
+// (the two paths carry the same parameters, so one struct serves both).
+type Request struct {
+	// Major/Minor select the operation on the IRP path.
+	Major types.MajorFunction
+	Minor types.MinorFunction
+	// Flags carries the header bits, most importantly IrpPaging (§3.3).
+	Flags types.IrpFlags
+
+	// FileObject is the target; nil only for volume-level operations
+	// before an object exists (CREATE carries a fresh one).
+	FileObject *types.FileObject
+
+	// ProcessID of the requester (0 for kernel components such as the
+	// lazy writer and the VM manager).
+	ProcessID uint32
+
+	// Offset/Length describe a transfer; Offset -1 means "current byte
+	// offset" (synchronous file-position I/O).
+	Offset int64
+	Length int
+
+	// Create parameters.
+	Path        string
+	Disposition types.CreateDisposition
+	Options     types.CreateOptions
+	Access      types.AccessMask
+	Attributes  types.FileAttributes
+
+	// Set-information parameters.
+	InfoClass  types.SetInfoClass
+	NewSize    int64
+	TargetPath string
+	// DeleteFile is the FileDispositionInformation payload.
+	DeleteFile bool
+
+	// FsControl selects the FSCTL operation for IRP_MJ_FILE_SYSTEM_CONTROL
+	// and IRP_MJ_DEVICE_CONTROL.
+	FsControl types.FsControlCode
+
+	// Results.
+	Status types.Status
+	// Information is the operation-dependent result: bytes transferred for
+	// read/write, entries returned for a directory query.
+	Information int64
+	// FromCache marks a read satisfied entirely from the file cache.
+	FromCache bool
+	// ReadAhead marks paging I/O issued by the cache manager's read-ahead.
+	ReadAhead bool
+	// LazyWrite marks paging I/O issued by the lazy writer.
+	LazyWrite bool
+
+	// Start and End are stamped by the trace driver (100 ns granularity,
+	// one at the start of the operation and one at completion — §3.2).
+	Start, End sim.Time
+}
+
+func (r *Request) String() string {
+	fo := "<nil>"
+	if r.FileObject != nil {
+		fo = r.FileObject.Path
+	}
+	return fmt.Sprintf("%v %s off=%d len=%d → %v", r.Major, fo, r.Offset, r.Length, r.Status)
+}
+
+// IsPaging reports whether the request originates from the VM manager.
+func (r *Request) IsPaging() bool { return r.Flags.Has(types.IrpPaging) }
+
+// Driver is one member of a device stack. Drivers receive IRPs via
+// Dispatch and FastIO invocations via FastIo; a filter driver forwards
+// both to the next driver down.
+type Driver interface {
+	// DriverName identifies the driver in diagnostics.
+	DriverName() string
+	// Dispatch services an IRP synchronously, setting rq.Status and
+	// result fields. Virtual time advances by the service cost.
+	Dispatch(rq *Request)
+	// FastIo attempts the direct path. A false return means the caller
+	// (the I/O manager) must retry via the IRP path (§10); rq is left
+	// unmodified in that case apart from scratch fields.
+	FastIo(call types.FastIoCall, rq *Request) bool
+}
+
+// Target abstracts "the top of a device stack" for components — the cache
+// manager and VM manager — that originate paging I/O. In NT these requests
+// re-enter at the top so that filter drivers (including the trace driver)
+// observe them; the paper's §3.3 trace-volume doubling depends on this.
+type Target interface {
+	// Call dispatches an IRP at the top of the stack.
+	Call(rq *Request)
+}
+
+// TargetFunc adapts a function to the Target interface.
+type TargetFunc func(rq *Request)
+
+// Call implements Target.
+func (f TargetFunc) Call(rq *Request) { f(rq) }

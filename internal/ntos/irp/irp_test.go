@@ -1,0 +1,43 @@
+package irp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ntos/types"
+)
+
+func TestIsPaging(t *testing.T) {
+	rq := &Request{Flags: types.IrpPaging}
+	if !rq.IsPaging() {
+		t.Error("IsPaging false with IrpPaging set")
+	}
+	if (&Request{}).IsPaging() {
+		t.Error("IsPaging true without flag")
+	}
+}
+
+func TestTargetFunc(t *testing.T) {
+	called := 0
+	var tgt Target = TargetFunc(func(rq *Request) {
+		called++
+		rq.Status = types.StatusSuccess
+	})
+	rq := &Request{Major: types.IrpMjRead}
+	tgt.Call(rq)
+	if called != 1 || rq.Status != types.StatusSuccess {
+		t.Errorf("TargetFunc: called=%d status=%v", called, rq.Status)
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	rq := &Request{Major: types.IrpMjWrite, Offset: 100, Length: 50,
+		FileObject: &types.FileObject{Path: `C:\x`}}
+	s := rq.String()
+	if !strings.Contains(s, "IRP_MJ_WRITE") || !strings.Contains(s, `C:\x`) {
+		t.Errorf("String() = %q", s)
+	}
+	if got := (&Request{}).String(); !strings.Contains(got, "<nil>") {
+		t.Errorf("nil-FO String() = %q", got)
+	}
+}

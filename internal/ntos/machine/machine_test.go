@@ -1,0 +1,543 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+// rig is a one-volume machine with trace capture.
+type rig struct {
+	m    *Machine
+	recs []tracefmt.Record
+	pid  uint32
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{}
+	sched := sim.NewScheduler()
+	r.m = New(sched, sim.NewRNG(42), Config{
+		Name: "test01", Category: Personal,
+		TraceFlush: func(recs []tracefmt.Record) { r.recs = append(r.recs, recs...) },
+	})
+	r.m.AddVolume(`C:`, volume.IDE1998, volume.FlavorNTFS, false)
+	r.m.Start()
+	r.pid = r.m.SpawnPID()
+	return r
+}
+
+// drain runs pending events (lazy writer etc.) for d of virtual time and
+// then flushes trace buffers into r.recs.
+func (r *rig) drain(d sim.Duration) {
+	r.m.Sched.RunUntil(r.m.Sched.Now().Add(d))
+	for _, v := range r.m.Volumes {
+		v.Trace.Flush()
+	}
+	r.m.Sched.RunUntil(r.m.Sched.Now().Add(sim.Second))
+}
+
+func (r *rig) count(kind tracefmt.EventKind) int {
+	n := 0
+	for _, rec := range r.recs {
+		if rec.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, st := io.CreateFile(r.pid, `C:\doc.txt`, types.AccessRead|types.AccessWrite,
+		types.DispositionCreate, 0, 0)
+	if st.IsError() {
+		t.Fatalf("create: %v", st)
+	}
+	if n, st := io.WriteFile(r.pid, h, 0, 10000); st.IsError() || n != 10000 {
+		t.Fatalf("write: n=%d st=%v", n, st)
+	}
+	if n, st := io.ReadFile(r.pid, h, 0, 4096); st.IsError() || n != 4096 {
+		t.Fatalf("read: n=%d st=%v", n, st)
+	}
+	io.CloseHandle(r.pid, h)
+	r.drain(10 * sim.Second)
+
+	fs := r.m.SystemVolume().FS
+	node, lst := fs.Lookup(`\doc.txt`)
+	if lst.IsError() {
+		t.Fatalf("file missing after close: %v", lst)
+	}
+	if node.Size != 10000 {
+		t.Errorf("size = %d, want 10000", node.Size)
+	}
+	if r.m.Cache.DirtyPages(node) != 0 {
+		t.Errorf("dirty pages remain after lazy writer: %d", r.m.Cache.DirtyPages(node))
+	}
+	// Lazy writer must have emitted paging writes and the cache manager a
+	// SetEndOfFile before the deferred close (§8.3).
+	if r.count(tracefmt.EvLazyWrite) == 0 {
+		t.Error("no lazy-write records")
+	}
+	if r.count(tracefmt.EvSetEndOfFile) == 0 {
+		t.Error("no SetEndOfFile record before close of written file")
+	}
+	if r.count(tracefmt.EvCleanup) != 1 || r.count(tracefmt.EvClose) < 1 {
+		t.Errorf("cleanup=%d close=%d", r.count(tracefmt.EvCleanup), r.count(tracefmt.EvClose))
+	}
+}
+
+func TestFirstReadIRPThenFastIO(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	// Seed a file.
+	h, _ := io.CreateFile(r.pid, `C:\data.bin`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 200000)
+	io.CloseHandle(r.pid, h)
+	r.drain(10 * sim.Second)
+	r.recs = nil
+
+	h, st := io.CreateFile(r.pid, `C:\data.bin`, types.AccessRead, types.DispositionOpen, 0, 0)
+	if st.IsError() {
+		t.Fatalf("open: %v", st)
+	}
+	for i := 0; i < 5; i++ {
+		if _, st := io.ReadFile(r.pid, h, int64(i*4096), 4096); st.IsError() {
+			t.Fatalf("read %d: %v", i, st)
+		}
+	}
+	io.CloseHandle(r.pid, h)
+	r.drain(5 * sim.Second)
+
+	irpReads := r.count(tracefmt.EvRead)
+	fastReads := 0
+	for _, rec := range r.recs {
+		if rec.Kind == tracefmt.EvFastRead && rec.Annot&tracefmt.AnnotFastRefused == 0 {
+			fastReads++
+		}
+	}
+	if irpReads != 1 {
+		t.Errorf("IRP reads = %d, want exactly 1 (the cache-initializing read)", irpReads)
+	}
+	if fastReads != 4 {
+		t.Errorf("successful FastIO reads = %d, want 4", fastReads)
+	}
+}
+
+func TestReadAheadMakesSequentialReadsHit(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\seq.dat`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 512*1024)
+	io.CloseHandle(r.pid, h)
+	r.drain(10 * sim.Second)
+	// Cold cache: drop the pages left over from the write session.
+	node, _ := r.m.SystemVolume().FS.Lookup(`\seq.dat`)
+	r.m.Cache.Purge(node)
+	r.recs = nil
+
+	h, _ = io.CreateFile(r.pid, `C:\seq.dat`, types.AccessRead, types.DispositionOpen, 0, 0)
+	hits := 0
+	total := 20
+	for i := 0; i < total; i++ {
+		io.ReadFile(r.pid, h, -1, 8192) // sequential via current offset
+		// Give the asynchronous read-ahead a chance to run between reads.
+		r.m.Sched.RunUntil(r.m.Sched.Now().Add(sim.Millisecond))
+	}
+	io.CloseHandle(r.pid, h)
+	r.drain(5 * sim.Second)
+
+	for _, rec := range r.recs {
+		if (rec.Kind == tracefmt.EvRead || rec.Kind == tracefmt.EvFastRead) &&
+			rec.Annot&tracefmt.AnnotFromCache != 0 {
+			hits++
+		}
+	}
+	if r.count(tracefmt.EvReadAhead) == 0 {
+		t.Error("no read-ahead paging records")
+	}
+	if hits < total/2 {
+		t.Errorf("cache hits = %d of %d sequential reads; read-ahead ineffective", hits, total)
+	}
+}
+
+func TestFastIORefusedBeforeCaching(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\x.txt`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	before := io.Stats.FastIoAttempts
+	io.WriteFile(r.pid, h, 0, 100) // first write: caching not yet initialized
+	if io.Stats.FastIoAttempts != before {
+		t.Error("FastIO attempted before caching was initialized")
+	}
+	io.WriteFile(r.pid, h, 100, 100) // now cached
+	if io.Stats.FastIoAttempts == before {
+		t.Error("FastIO not attempted after caching was initialized")
+	}
+	io.CloseHandle(r.pid, h)
+}
+
+func TestTwoStageCloseGapReadOnly(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\r.txt`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 5000)
+	io.CloseHandle(r.pid, h)
+	r.drain(10 * sim.Second)
+	r.recs = nil
+
+	// Read-only session: close must land within ~4–80 µs of cleanup.
+	h, _ = io.CreateFile(r.pid, `C:\r.txt`, types.AccessRead, types.DispositionOpen, 0, 0)
+	io.ReadFile(r.pid, h, 0, 4096)
+	io.CloseHandle(r.pid, h)
+	r.drain(sim.Second)
+
+	var cleanupEnd, closeStart sim.Time
+	var foID types.FileObjectID
+	for _, rec := range r.recs {
+		if rec.Kind == tracefmt.EvCleanup {
+			cleanupEnd = rec.End
+			foID = rec.FileID
+		}
+	}
+	for _, rec := range r.recs {
+		if rec.Kind == tracefmt.EvClose && rec.FileID == foID {
+			closeStart = rec.Start
+		}
+	}
+	if cleanupEnd == 0 || closeStart == 0 {
+		t.Fatal("missing cleanup/close records")
+	}
+	gap := closeStart.Sub(cleanupEnd)
+	if gap < sim.FromMicroseconds(1) || gap > sim.FromMicroseconds(200) {
+		t.Errorf("cleanup→close gap = %v, want microseconds-scale", gap)
+	}
+}
+
+func TestWriteCachedCloseDeferredToFlush(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\w.txt`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 100000)
+	io.CloseHandle(r.pid, h)
+	// No close yet: dirty pages pin the cache reference.
+	r.m.Volumes[0].Trace.Flush()
+	r.m.Sched.RunUntil(r.m.Sched.Now().Add(sim.FromMilliseconds(100)))
+	if got := r.count(tracefmt.EvClose); got != 0 {
+		t.Errorf("close arrived before dirty data was flushed (%d records)", got)
+	}
+	r.drain(10 * sim.Second)
+	if got := r.count(tracefmt.EvClose); got == 0 {
+		t.Error("close never arrived after lazy flush")
+	}
+}
+
+func TestDeleteViaDisposition(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\dead.tmp`, types.AccessWrite|types.AccessDelete,
+		types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 100)
+	if st := io.SetDeleteDisposition(r.pid, h, true); st.IsError() {
+		t.Fatalf("set disposition: %v", st)
+	}
+	io.CloseHandle(r.pid, h)
+	if _, st := r.m.SystemVolume().FS.Lookup(`\dead.tmp`); st != types.StatusObjectNameNotFound {
+		t.Errorf("file survives deletion: %v", st)
+	}
+	if r.m.SystemVolume().FSD.Stats.ExplicitDeletes != 1 {
+		t.Errorf("ExplicitDeletes = %d", r.m.SystemVolume().FSD.Stats.ExplicitDeletes)
+	}
+}
+
+func TestDeleteOnCloseOption(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\scratch`, types.AccessWrite,
+		types.DispositionCreate, types.OptDeleteOnClose, types.AttrTemporary)
+	io.WriteFile(r.pid, h, 0, 4096)
+	io.CloseHandle(r.pid, h)
+	if _, st := r.m.SystemVolume().FS.Lookup(`\scratch`); !st.IsError() {
+		t.Error("delete-on-close file survives")
+	}
+	if r.m.SystemVolume().FSD.Stats.TempFileDeletes != 1 {
+		t.Errorf("TempFileDeletes = %d", r.m.SystemVolume().FSD.Stats.TempFileDeletes)
+	}
+}
+
+func TestTemporaryAttributeSuppressesLazyWrite(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\t.tmp`, types.AccessWrite,
+		types.DispositionCreate, 0, types.AttrTemporary)
+	io.WriteFile(r.pid, h, 0, 64*1024)
+	// Run the lazy writer for several scans while the file stays open.
+	r.m.Sched.RunUntil(r.m.Sched.Now().Add(5 * sim.Second))
+	r.m.Volumes[0].Trace.Flush()
+	r.m.Sched.RunUntil(r.m.Sched.Now().Add(sim.Second))
+	if got := r.count(tracefmt.EvLazyWrite); got != 0 {
+		t.Errorf("lazy writer wrote %d bursts for a temporary file", got)
+	}
+	io.CloseHandle(r.pid, h)
+}
+
+func TestOverwriteTruncatesAndPurges(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\o.txt`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 50000)
+	io.CloseHandle(r.pid, h)
+	// Immediately overwrite while dirty pages are still cached (§6.3: 23%
+	// of overwrites found unwritten pages in the cache).
+	h2, st := io.CreateFile(r.pid, `C:\o.txt`, types.AccessWrite, types.DispositionOverwriteIf, 0, 0)
+	if st.IsError() {
+		t.Fatalf("overwrite open: %v", st)
+	}
+	node, _ := r.m.SystemVolume().FS.Lookup(`\o.txt`)
+	if node.Size != 0 {
+		t.Errorf("size after overwrite = %d, want 0", node.Size)
+	}
+	if r.m.Cache.Stats.PurgedDirty == 0 {
+		t.Error("overwrite did not count discarded dirty pages")
+	}
+	if r.m.SystemVolume().FSD.Stats.OverwriteTrunc != 1 {
+		t.Errorf("OverwriteTrunc = %d", r.m.SystemVolume().FSD.Stats.OverwriteTrunc)
+	}
+	io.CloseHandle(r.pid, h2)
+}
+
+func TestOpenErrors(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	if _, st := io.CreateFile(r.pid, `C:\missing.txt`, types.AccessRead,
+		types.DispositionOpen, 0, 0); st != types.StatusObjectNameNotFound {
+		t.Errorf("open missing: %v", st)
+	}
+	h, _ := io.CreateFile(r.pid, `C:\exists`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.CloseHandle(r.pid, h)
+	if _, st := io.CreateFile(r.pid, `C:\exists`, types.AccessWrite,
+		types.DispositionCreate, 0, 0); st != types.StatusObjectNameCollision {
+		t.Errorf("create colliding: %v", st)
+	}
+	fsd := r.m.SystemVolume().FSD
+	if fsd.Stats.OpenNotFound != 1 || fsd.Stats.OpenCollision != 1 {
+		t.Errorf("error counters: %+v", fsd.Stats)
+	}
+	r.drain(sim.Second)
+	if r.count(tracefmt.EvCreateFailed) != 2 {
+		t.Errorf("EvCreateFailed = %d", r.count(tracefmt.EvCreateFailed))
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\s.txt`, types.AccessRead|types.AccessWrite,
+		types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 100)
+	if _, st := io.ReadFile(r.pid, h, 200, 50); st != types.StatusEndOfFile {
+		t.Errorf("read past EOF: %v", st)
+	}
+	// Partial read at the boundary succeeds with fewer bytes.
+	if n, st := io.ReadFile(r.pid, h, 50, 100); st.IsError() || n != 50 {
+		t.Errorf("boundary read: n=%d st=%v", n, st)
+	}
+	io.CloseHandle(r.pid, h)
+}
+
+func TestWriteThroughLeavesNothingDirty(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\wt.log`, types.AccessWrite,
+		types.DispositionCreate, types.OptWriteThrough, 0)
+	io.WriteFile(r.pid, h, 0, 20000)
+	node, _ := r.m.SystemVolume().FS.Lookup(`\wt.log`)
+	if d := r.m.Cache.DirtyPages(node); d != 0 {
+		t.Errorf("write-through left %d dirty pages", d)
+	}
+	io.CloseHandle(r.pid, h)
+}
+
+func TestLockBlocksFastIO(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\l.db`, types.AccessRead|types.AccessWrite,
+		types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 8192) // initialize caching
+	io.WriteFile(r.pid, h, 0, 100)  // FastIO write works
+	fastBefore := io.Stats.FastIoSucceeded
+	io.LockFile(r.pid, h, 0, 100)
+	io.WriteFile(r.pid, h, 0, 100) // must fall back to IRP
+	if io.Stats.FastIoSucceeded != fastBefore {
+		t.Error("FastIO succeeded on a locked file")
+	}
+	io.UnlockFile(r.pid, h, 0, 100)
+	io.WriteFile(r.pid, h, 0, 100)
+	if io.Stats.FastIoSucceeded == fastBefore {
+		t.Error("FastIO still blocked after unlock")
+	}
+	io.CloseHandle(r.pid, h)
+}
+
+func TestVolumeMountedControl(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\`, types.AccessAttributes, types.DispositionOpen,
+		types.OptDirectoryFile, 0)
+	if st := io.FsControl(r.pid, h, types.FsctlIsVolumeMounted); st.IsError() {
+		t.Errorf("is-volume-mounted: %v", st)
+	}
+	io.CloseHandle(r.pid, h)
+}
+
+func TestQueryDirectory(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	for _, p := range []string{`C:\d\a`, `C:\d\b`, `C:\d\c`} {
+		r.m.SystemVolume().FS.MkdirAll(`\d`, 0)
+		h, _ := io.CreateFile(r.pid, p, types.AccessWrite, types.DispositionCreate, 0, 0)
+		io.CloseHandle(r.pid, h)
+	}
+	h, st := io.CreateFile(r.pid, `C:\d`, types.AccessRead, types.DispositionOpen,
+		types.OptDirectoryFile, 0)
+	if st.IsError() {
+		t.Fatalf("open dir: %v", st)
+	}
+	n, st := io.QueryDirectory(r.pid, h)
+	if st.IsError() || n != 3 {
+		t.Errorf("QueryDirectory: n=%d st=%v", n, st)
+	}
+	io.CloseHandle(r.pid, h)
+}
+
+func TestImageLoadColdThenWarm(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\app.exe`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 300000)
+	io.CloseHandle(r.pid, h)
+	r.drain(10 * sim.Second)
+	r.recs = nil
+
+	if st := r.m.VM.LoadImage(r.pid, `C:\app.exe`); st.IsError() {
+		t.Fatalf("cold load: %v", st)
+	}
+	coldPaging := r.m.VM.Stats.PagingReads
+	if coldPaging == 0 {
+		t.Error("cold image load issued no paging reads")
+	}
+	if st := r.m.VM.LoadImage(r.pid, `C:\app.exe`); st.IsError() {
+		t.Fatalf("warm load: %v", st)
+	}
+	if r.m.VM.Stats.PagingReads != coldPaging {
+		t.Error("warm load paged in again despite retention")
+	}
+	if r.m.VM.Stats.SoftLoads != 1 || r.m.VM.Stats.HardLoads != 1 {
+		t.Errorf("soft=%d hard=%d", r.m.VM.Stats.SoftLoads, r.m.VM.Stats.HardLoads)
+	}
+	r.drain(sim.Second)
+	if r.count(tracefmt.EvPagingRead) == 0 {
+		t.Error("no paging-read trace records from image load")
+	}
+	if st := r.m.VM.LoadImage(r.pid, `C:\nosuch.dll`); st != types.StatusObjectNameNotFound {
+		t.Errorf("missing image load: %v", st)
+	}
+}
+
+func TestMappedSectionFaulting(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\sim.dat`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 1<<20)
+	io.CloseHandle(r.pid, h)
+	r.drain(10 * sim.Second)
+
+	h, _ = io.CreateFile(r.pid, `C:\sim.dat`, types.AccessRead, types.DispositionOpen, 0, 0)
+	sec, st := r.m.VM.MapFile(r.pid, h)
+	if st.IsError() {
+		t.Fatalf("map: %v", st)
+	}
+	if sec.Size() != 1<<20 {
+		t.Errorf("section size = %d", sec.Size())
+	}
+	faults := r.m.VM.Stats.SectionFaults
+	sec.Read(0, 8192)
+	if r.m.VM.Stats.SectionFaults == faults {
+		t.Error("first touch did not fault")
+	}
+	f2 := r.m.VM.Stats.SectionFaults
+	sec.Read(0, 8192) // resident now
+	if r.m.VM.Stats.SectionFaults != f2 {
+		t.Error("second touch faulted again")
+	}
+	// Handle close + unmap: the section reference must hold the object.
+	io.CloseHandle(r.pid, h)
+	sec.Unmap()
+	r.drain(sim.Second)
+}
+
+func TestNameMapRecords(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\n1.txt`, types.AccessWrite, types.DispositionCreate, 0, 0)
+	io.CloseHandle(r.pid, h)
+	r.drain(sim.Second)
+	found := false
+	for _, rec := range r.recs {
+		if rec.Kind == tracefmt.EvNameMap && rec.NameString() == `C:\n1.txt` {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no name-map record for the new file object")
+	}
+}
+
+func TestHandleLeakFree(t *testing.T) {
+	r := newRig(t)
+	io := r.m.IO
+	for i := 0; i < 50; i++ {
+		h, st := io.CreateFile(r.pid, `C:\f.txt`, types.AccessWrite, types.DispositionOverwriteIf, 0, 0)
+		if st.IsError() {
+			t.Fatalf("open %d: %v", i, st)
+		}
+		io.WriteFile(r.pid, h, 0, 1000)
+		io.CloseHandle(r.pid, h)
+	}
+	if n := io.OpenHandles(); n != 0 {
+		t.Errorf("leaked %d handles", n)
+	}
+}
+
+func TestDeletedCachedFileStillCloses(t *testing.T) {
+	// A file written through the cache and then deleted must still get its
+	// final IRP_MJ_CLOSE (the cache reference is released even though the
+	// cache map was dropped at deletion).
+	r := newRig(t)
+	io := r.m.IO
+	h, _ := io.CreateFile(r.pid, `C:\gone.tmp`, types.AccessWrite|types.AccessDelete,
+		types.DispositionCreate, 0, 0)
+	io.WriteFile(r.pid, h, 0, 8192) // caching initialized, pages dirty
+	io.SetDeleteDisposition(r.pid, h, true)
+	io.CloseHandle(r.pid, h)
+	r.drain(5 * sim.Second)
+	var foID types.FileObjectID
+	for _, rec := range r.recs {
+		if rec.Kind == tracefmt.EvCreate {
+			foID = rec.FileID
+		}
+	}
+	closed := false
+	for _, rec := range r.recs {
+		if rec.Kind == tracefmt.EvClose && rec.FileID == foID {
+			closed = true
+		}
+	}
+	if !closed {
+		t.Error("no IRP_MJ_CLOSE for the deleted cached file")
+	}
+}

@@ -1,0 +1,96 @@
+package types
+
+import "fmt"
+
+// FileObjectID uniquely identifies a FileObject within a trace. The trace
+// driver writes one name-mapping record per new file object (§3.2), and
+// the analysis joins trace records to instances on this id.
+type FileObjectID uint64
+
+// FileObjectFlags mirror the FO_* flags the cache manager and the analysis
+// consult.
+type FileObjectFlags uint32
+
+// File-object flags.
+const (
+	FOSequentialOnly FileObjectFlags = 1 << iota
+	FONoIntermediateBuffering
+	FOWriteThrough
+	FOTemporaryFile
+	FODeleteOnClose
+	FOCacheInitialized // caching has been set up for this object (§10)
+	FOCleanupDone      // IRP_MJ_CLEANUP has been seen
+	FODirtied          // this FileObject wrote through the cache
+	FORandomAccess
+	FODirectory
+)
+
+// Has reports whether all the given flags are set.
+func (f FileObjectFlags) Has(x FileObjectFlags) bool { return f&x == x }
+
+// FileObject is the per-open kernel object. In NT every open handle maps
+// to a FileObject; the cache manager and VM manager take additional
+// references on it, which drives the two-stage cleanup/close behaviour
+// measured in §8.1.
+type FileObject struct {
+	ID    FileObjectID
+	Path  string
+	Flags FileObjectFlags
+
+	// Access requested at create time.
+	Access AccessMask
+	// Options from the create request.
+	Options CreateOptions
+
+	// CurrentByteOffset is the file-position pointer advanced by
+	// synchronous reads/writes; recorded in every trace record.
+	CurrentByteOffset int64
+
+	// RefCount counts kernel references (handle + cache + VM sections).
+	// CLOSE is sent when it reaches zero after CLEANUP.
+	RefCount int
+
+	// ProcessID of the opener.
+	ProcessID uint32
+
+	// FileSize is a cached copy maintained by the FS driver for trace
+	// records (each record logs "the current byte offset and file size").
+	FileSize int64
+
+	// DeletePending is set by FileDispositionInformation.
+	DeletePending bool
+
+	// Internal bookkeeping handles for the file system, cache and VM
+	// managers; opaque to other packages. FsContext is the file-system
+	// driver's per-file state (the node), as in real NT.
+	FsContext any
+	CacheMap  any
+	Section   any
+	// DeviceObject identifies the volume stack the object belongs to
+	// (set by the I/O manager at create time, as in real NT).
+	DeviceObject any
+
+	// LastSequentialEnd tracks the end offset of the previous read for the
+	// cache manager's fuzzy sequential-access detection (§9.1).
+	LastSequentialEnd int64
+	// SequentialStreak counts consecutive sequential reads (read-ahead is
+	// triggered on the 3rd, §9.1).
+	SequentialStreak int
+}
+
+func (fo *FileObject) String() string {
+	return fmt.Sprintf("FileObject{%d %q}", fo.ID, fo.Path)
+}
+
+// Reference increments the kernel reference count.
+func (fo *FileObject) Reference() { fo.RefCount++ }
+
+// Dereference decrements the reference count, returning the new value. It
+// panics if the count would go negative — that is a lifecycle bug.
+func (fo *FileObject) Dereference() int {
+	if fo.RefCount <= 0 {
+		panic("types: FileObject over-dereferenced: " + fo.Path)
+	}
+	fo.RefCount--
+	return fo.RefCount
+}

@@ -1,0 +1,394 @@
+// Package types defines the vocabulary of the simulated Windows NT 4.0 I/O
+// subsystem: IRP major/minor function codes, FastIO entry points, request
+// and file-object flags, NT status codes, create dispositions and options.
+// These mirror the real NT definitions closely enough that the trace
+// analysis (which keys off them, exactly as the paper's §3.2 instrument
+// did) is faithful to the original study.
+package types
+
+import "fmt"
+
+// MajorFunction identifies an IRP major function code (IRP_MJ_*).
+type MajorFunction uint8
+
+// The IRP major functions the file-system stack services. The trace driver
+// in the paper recorded "54 IRP and FastIO events"; the union of these
+// majors (with their minors) and the FastIO calls below reaches that count.
+const (
+	IrpMjCreate MajorFunction = iota
+	IrpMjRead
+	IrpMjWrite
+	IrpMjQueryInformation
+	IrpMjSetInformation
+	IrpMjQueryEa
+	IrpMjSetEa
+	IrpMjFlushBuffers
+	IrpMjQueryVolumeInformation
+	IrpMjSetVolumeInformation
+	IrpMjDirectoryControl
+	IrpMjFileSystemControl
+	IrpMjDeviceControl
+	IrpMjLockControl
+	IrpMjCleanup
+	IrpMjClose
+	IrpMjQuerySecurity
+	IrpMjSetSecurity
+	IrpMjPnp
+	irpMjCount
+)
+
+// NumMajorFunctions is the count of distinct IRP major codes.
+const NumMajorFunctions = int(irpMjCount)
+
+var majorNames = [...]string{
+	"IRP_MJ_CREATE", "IRP_MJ_READ", "IRP_MJ_WRITE", "IRP_MJ_QUERY_INFORMATION",
+	"IRP_MJ_SET_INFORMATION", "IRP_MJ_QUERY_EA", "IRP_MJ_SET_EA",
+	"IRP_MJ_FLUSH_BUFFERS", "IRP_MJ_QUERY_VOLUME_INFORMATION",
+	"IRP_MJ_SET_VOLUME_INFORMATION", "IRP_MJ_DIRECTORY_CONTROL",
+	"IRP_MJ_FILE_SYSTEM_CONTROL", "IRP_MJ_DEVICE_CONTROL", "IRP_MJ_LOCK_CONTROL",
+	"IRP_MJ_CLEANUP", "IRP_MJ_CLOSE", "IRP_MJ_QUERY_SECURITY",
+	"IRP_MJ_SET_SECURITY", "IRP_MJ_PNP",
+}
+
+func (m MajorFunction) String() string {
+	if int(m) < len(majorNames) {
+		return majorNames[m]
+	}
+	return fmt.Sprintf("IRP_MJ_%d", uint8(m))
+}
+
+// MinorFunction refines a major function (IRP_MN_*).
+type MinorFunction uint8
+
+// Minor codes used by the simulation.
+const (
+	IrpMnNormal MinorFunction = iota
+	// Directory control minors.
+	IrpMnQueryDirectory
+	IrpMnNotifyChangeDirectory
+	// File system control minors.
+	IrpMnUserFsRequest
+	IrpMnMountVolume
+	IrpMnVerifyVolume
+	// Lock control minors.
+	IrpMnLock
+	IrpMnUnlockSingle
+	IrpMnUnlockAll
+)
+
+var minorNames = map[MinorFunction]string{
+	IrpMnNormal:                "IRP_MN_NORMAL",
+	IrpMnQueryDirectory:        "IRP_MN_QUERY_DIRECTORY",
+	IrpMnNotifyChangeDirectory: "IRP_MN_NOTIFY_CHANGE_DIRECTORY",
+	IrpMnUserFsRequest:         "IRP_MN_USER_FS_REQUEST",
+	IrpMnMountVolume:           "IRP_MN_MOUNT_VOLUME",
+	IrpMnVerifyVolume:          "IRP_MN_VERIFY_VOLUME",
+	IrpMnLock:                  "IRP_MN_LOCK",
+	IrpMnUnlockSingle:          "IRP_MN_UNLOCK_SINGLE",
+	IrpMnUnlockAll:             "IRP_MN_UNLOCK_ALL",
+}
+
+func (m MinorFunction) String() string {
+	if s, ok := minorNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("IRP_MN_%d", uint8(m))
+}
+
+// FastIoCall identifies one FastIO procedural entry point (§10).
+type FastIoCall uint8
+
+// FastIO entry points. The IO manager invokes these directly on the top of
+// the driver stack; a FALSE return falls back to the IRP path.
+const (
+	FastIoCheckIfPossible FastIoCall = iota
+	FastIoRead
+	FastIoWrite
+	FastIoQueryBasicInfo
+	FastIoQueryStandardInfo
+	FastIoLock
+	FastIoUnlockSingle
+	FastIoUnlockAll
+	FastIoDeviceControl
+	FastIoQueryNetworkOpenInfo
+	FastIoMdlRead  // direct-memory (copy-avoiding) read, kernel services only
+	FastIoMdlWrite // direct-memory write
+	fastIoCount
+)
+
+// NumFastIoCalls is the count of FastIO entry points.
+const NumFastIoCalls = int(fastIoCount)
+
+var fastIoNames = [...]string{
+	"FastIoCheckIfPossible", "FastIoRead", "FastIoWrite", "FastIoQueryBasicInfo",
+	"FastIoQueryStandardInfo", "FastIoLock", "FastIoUnlockSingle", "FastIoUnlockAll",
+	"FastIoDeviceControl", "FastIoQueryNetworkOpenInfo", "FastIoMdlRead", "FastIoMdlWrite",
+}
+
+func (f FastIoCall) String() string {
+	if int(f) < len(fastIoNames) {
+		return fastIoNames[f]
+	}
+	return fmt.Sprintf("FastIo_%d", uint8(f))
+}
+
+// Status is an NT status code.
+type Status int32
+
+// Status codes the simulation produces.
+const (
+	StatusSuccess Status = iota
+	StatusPending
+	StatusEndOfFile
+	StatusObjectNameNotFound
+	StatusObjectNameCollision
+	StatusObjectPathNotFound
+	StatusAccessDenied
+	StatusSharingViolation
+	StatusNotADirectory
+	StatusFileIsADirectory
+	StatusDeletePending
+	StatusDiskFull
+	StatusInvalidParameter
+	StatusNotImplemented
+	StatusBufferOverflow
+	StatusNoMoreFiles
+	StatusFileLockConflict
+	StatusVolumeMounted // FSCTL "is volume mounted" affirmative
+)
+
+var statusNames = [...]string{
+	"STATUS_SUCCESS", "STATUS_PENDING", "STATUS_END_OF_FILE",
+	"STATUS_OBJECT_NAME_NOT_FOUND", "STATUS_OBJECT_NAME_COLLISION",
+	"STATUS_OBJECT_PATH_NOT_FOUND", "STATUS_ACCESS_DENIED",
+	"STATUS_SHARING_VIOLATION", "STATUS_NOT_A_DIRECTORY",
+	"STATUS_FILE_IS_A_DIRECTORY", "STATUS_DELETE_PENDING", "STATUS_DISK_FULL",
+	"STATUS_INVALID_PARAMETER", "STATUS_NOT_IMPLEMENTED",
+	"STATUS_BUFFER_OVERFLOW", "STATUS_NO_MORE_FILES",
+	"STATUS_FILE_LOCK_CONFLICT", "STATUS_VOLUME_MOUNTED",
+}
+
+func (s Status) String() string {
+	if int(s) >= 0 && int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("STATUS_%d", int32(s))
+}
+
+// IsError reports whether the status is a failure (success, pending, and
+// informational statuses are not).
+func (s Status) IsError() bool {
+	switch s {
+	case StatusSuccess, StatusPending, StatusVolumeMounted, StatusBufferOverflow:
+		return false
+	}
+	return true
+}
+
+// CreateDisposition says what CREATE should do about existence.
+type CreateDisposition uint8
+
+// Create dispositions (FILE_*).
+const (
+	DispositionSupersede   CreateDisposition = iota // replace if exists, create if not
+	DispositionOpen                                 // open, fail if missing
+	DispositionCreate                               // create, fail if exists
+	DispositionOpenIf                               // open or create
+	DispositionOverwrite                            // open and truncate, fail if missing
+	DispositionOverwriteIf                          // open-truncate or create
+)
+
+var dispositionNames = [...]string{
+	"FILE_SUPERSEDE", "FILE_OPEN", "FILE_CREATE", "FILE_OPEN_IF",
+	"FILE_OVERWRITE", "FILE_OVERWRITE_IF",
+}
+
+// CreateResult is the IoStatus.Information value of a completed create:
+// what the file system actually did. The trace analysis keys the §6.3
+// new-file lifetime study off these.
+type CreateResult int64
+
+// Create results.
+const (
+	FileSuperseded CreateResult = iota
+	FileOpened
+	FileCreated
+	FileOverwritten
+	FileExists
+	FileDoesNotExist
+)
+
+func (c CreateResult) String() string {
+	names := [...]string{"FILE_SUPERSEDED", "FILE_OPENED", "FILE_CREATED",
+		"FILE_OVERWRITTEN", "FILE_EXISTS", "FILE_DOES_NOT_EXIST"}
+	if int(c) >= 0 && int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("CREATE_RESULT_%d", int64(c))
+}
+
+func (d CreateDisposition) String() string {
+	if int(d) < len(dispositionNames) {
+		return dispositionNames[d]
+	}
+	return fmt.Sprintf("FILE_DISPOSITION_%d", uint8(d))
+}
+
+// CreateOptions are the FILE_* option flags on a create/open request that
+// the paper's §6.3, §8 and §9 analyses key on.
+type CreateOptions uint32
+
+// Create option flags.
+const (
+	OptDirectoryFile        CreateOptions = 1 << iota // opening a directory
+	OptSequentialOnly                                 // FILE_SEQUENTIAL_ONLY: doubles read-ahead
+	OptNoIntermediateBuffer                           // disables read caching
+	OptWriteThrough                                   // writes go to disk before completion
+	OptDeleteOnClose                                  // temporary-file style deletion
+	OptNonDirectoryFile
+	OptRandomAccess
+)
+
+// Has reports whether all the given flags are set.
+func (o CreateOptions) Has(f CreateOptions) bool { return o&f == f }
+
+// AccessMask is the requested access on an open.
+type AccessMask uint32
+
+// Access flags.
+const (
+	AccessRead AccessMask = 1 << iota
+	AccessWrite
+	AccessDelete
+	AccessExecute
+	AccessAttributes // metadata-only access (control/directory operations)
+)
+
+// Has reports whether all the given access bits are present.
+func (a AccessMask) Has(f AccessMask) bool { return a&f == f }
+
+// FileAttributes carried on files (subset relevant to the analyses).
+type FileAttributes uint32
+
+// Attribute flags.
+const (
+	AttrNormal    FileAttributes = 0
+	AttrDirectory FileAttributes = 1 << iota
+	AttrTemporary                // prevents the lazy writer queuing pages (§6.3)
+	AttrHidden
+	AttrSystem
+	AttrReadOnly
+	AttrCompressed
+)
+
+// Has reports whether all the given attribute bits are present.
+func (f FileAttributes) Has(a FileAttributes) bool { return f&a == a }
+
+// IrpFlags are per-request header flags.
+type IrpFlags uint32
+
+// IRP header flags.
+const (
+	IrpPaging IrpFlags = 1 << iota // request originates from the VM manager (§3.3)
+	IrpSynchronous
+	IrpWriteThrough
+	IrpNoCache
+)
+
+// Has reports whether all the given flags are set.
+func (f IrpFlags) Has(x IrpFlags) bool { return f&x == x }
+
+// FsControlCode identifies a file-system control (FSCTL) operation. The
+// paper counts 33 major control operations; the most frequent — "is volume
+// mounted" — is issued by Win32 name-validation up to 40 times a second on
+// an active system (§8.3).
+type FsControlCode uint16
+
+// Control codes. The list is representative of the 33 majors: the analysis
+// only distinguishes the popular ones and buckets the rest.
+const (
+	FsctlIsVolumeMounted FsControlCode = iota
+	FsctlQueryVolumeInfo
+	FsctlIsPathnameValid
+	FsctlGetCompression
+	FsctlSetCompression
+	FsctlGetVolumeBitmap
+	FsctlGetRetrievalPointers
+	FsctlFilesystemGetStatistics
+	FsctlGetNtfsVolumeData
+	FsctlReadFileUsnData
+	FsctlSetSparse
+	FsctlSetZeroData
+	FsctlQueryAllocatedRanges
+	FsctlRecallFile
+	FsctlRequestOplock
+	FsctlOplockBreakAck
+	FsctlLockVolume
+	FsctlUnlockVolume
+	FsctlDismountVolume
+	FsctlMarkVolumeDirty
+	FsctlQueryRetrievalPointers
+	FsctlGetObjectId
+	FsctlSetObjectId
+	FsctlDeleteObjectId
+	FsctlSetReparsePoint
+	FsctlGetReparsePoint
+	FsctlDeleteReparsePoint
+	FsctlEnumUsnData
+	FsctlSecurityIdCheck
+	FsctlQueryUsnJournal
+	FsctlInvalidateVolumes
+	FsctlQueryFatBpb
+	FsctlAllowExtendedDasdIo
+	numFsctl
+)
+
+// NumFsControlCodes is the number of modelled control operations (33, per
+// §8.3 "There are 33 major control operations on files available in
+// Windows NT").
+const NumFsControlCodes = int(numFsctl)
+
+func (c FsControlCode) String() string {
+	names := [...]string{
+		"FSCTL_IS_VOLUME_MOUNTED", "FSCTL_QUERY_VOLUME_INFO", "FSCTL_IS_PATHNAME_VALID",
+		"FSCTL_GET_COMPRESSION", "FSCTL_SET_COMPRESSION", "FSCTL_GET_VOLUME_BITMAP",
+		"FSCTL_GET_RETRIEVAL_POINTERS", "FSCTL_FILESYSTEM_GET_STATISTICS",
+		"FSCTL_GET_NTFS_VOLUME_DATA", "FSCTL_READ_FILE_USN_DATA", "FSCTL_SET_SPARSE",
+		"FSCTL_SET_ZERO_DATA", "FSCTL_QUERY_ALLOCATED_RANGES", "FSCTL_RECALL_FILE",
+		"FSCTL_REQUEST_OPLOCK", "FSCTL_OPLOCK_BREAK_ACK", "FSCTL_LOCK_VOLUME",
+		"FSCTL_UNLOCK_VOLUME", "FSCTL_DISMOUNT_VOLUME", "FSCTL_MARK_VOLUME_DIRTY",
+		"FSCTL_QUERY_RETRIEVAL_POINTERS", "FSCTL_GET_OBJECT_ID", "FSCTL_SET_OBJECT_ID",
+		"FSCTL_DELETE_OBJECT_ID", "FSCTL_SET_REPARSE_POINT", "FSCTL_GET_REPARSE_POINT",
+		"FSCTL_DELETE_REPARSE_POINT", "FSCTL_ENUM_USN_DATA", "FSCTL_SECURITY_ID_CHECK",
+		"FSCTL_QUERY_USN_JOURNAL", "FSCTL_INVALIDATE_VOLUMES", "FSCTL_QUERY_FAT_BPB",
+		"FSCTL_ALLOW_EXTENDED_DASD_IO",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("FSCTL_%d", uint16(c))
+}
+
+// SetInfoClass identifies the IRP_MJ_SET_INFORMATION subclass.
+type SetInfoClass uint8
+
+// Set-information classes used by the simulation.
+const (
+	SetInfoBasic       SetInfoClass = iota
+	SetInfoDisposition              // delete-on-close marker (DeleteFile path)
+	SetInfoEndOfFile                // SetEndOfFile truncation (§8.3)
+	SetInfoAllocation
+	SetInfoRename
+)
+
+func (c SetInfoClass) String() string {
+	names := [...]string{
+		"FileBasicInformation", "FileDispositionInformation",
+		"FileEndOfFileInformation", "FileAllocationInformation",
+		"FileRenameInformation",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("FileInformationClass_%d", uint8(c))
+}

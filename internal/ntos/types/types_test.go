@@ -1,0 +1,112 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMajorFunctionStrings(t *testing.T) {
+	if IrpMjCreate.String() != "IRP_MJ_CREATE" {
+		t.Errorf("IrpMjCreate = %q", IrpMjCreate.String())
+	}
+	if IrpMjClose.String() != "IRP_MJ_CLOSE" {
+		t.Errorf("IrpMjClose = %q", IrpMjClose.String())
+	}
+	if got := MajorFunction(200).String(); !strings.HasPrefix(got, "IRP_MJ_") {
+		t.Errorf("unknown major = %q", got)
+	}
+}
+
+func TestEventVocabularyCount(t *testing.T) {
+	// §3.2: "The trace driver records 54 IRP and FastIO events". Our
+	// vocabulary: majors with their distinguishable minors plus FastIO
+	// calls. Majors (19) + extra minors beyond normal (8) + FastIO (12)
+	// + the 15 derived event kinds tracefmt adds = 54; the tracefmt test
+	// asserts the exact total. Here we pin the building blocks.
+	if NumMajorFunctions != 19 {
+		t.Errorf("NumMajorFunctions = %d, want 19", NumMajorFunctions)
+	}
+	if NumFastIoCalls != 12 {
+		t.Errorf("NumFastIoCalls = %d, want 12", NumFastIoCalls)
+	}
+}
+
+func TestNumFsControlCodes(t *testing.T) {
+	// §8.3: 33 major control operations.
+	if NumFsControlCodes != 33 {
+		t.Errorf("NumFsControlCodes = %d, want 33", NumFsControlCodes)
+	}
+}
+
+func TestStatusIsError(t *testing.T) {
+	for _, s := range []Status{StatusSuccess, StatusPending, StatusVolumeMounted, StatusBufferOverflow} {
+		if s.IsError() {
+			t.Errorf("%v.IsError() = true", s)
+		}
+	}
+	for _, s := range []Status{StatusObjectNameNotFound, StatusObjectNameCollision, StatusEndOfFile, StatusDiskFull} {
+		if !s.IsError() {
+			t.Errorf("%v.IsError() = false", s)
+		}
+	}
+}
+
+func TestFlagHelpers(t *testing.T) {
+	o := OptSequentialOnly | OptDeleteOnClose
+	if !o.Has(OptSequentialOnly) || !o.Has(OptDeleteOnClose) {
+		t.Error("CreateOptions.Has failed for set flags")
+	}
+	if o.Has(OptWriteThrough) {
+		t.Error("CreateOptions.Has true for unset flag")
+	}
+	a := AccessRead | AccessWrite
+	if !a.Has(AccessRead) || a.Has(AccessDelete) {
+		t.Error("AccessMask.Has wrong")
+	}
+	f := IrpPaging | IrpNoCache
+	if !f.Has(IrpPaging) || f.Has(IrpSynchronous) {
+		t.Error("IrpFlags.Has wrong")
+	}
+	fo := FOSequentialOnly | FOCacheInitialized
+	if !fo.Has(FOCacheInitialized) || fo.Has(FOTemporaryFile) {
+		t.Error("FileObjectFlags.Has wrong")
+	}
+}
+
+func TestFileObjectRefCounting(t *testing.T) {
+	fo := &FileObject{ID: 1, Path: `\a.txt`, RefCount: 1}
+	fo.Reference()
+	if fo.RefCount != 2 {
+		t.Errorf("RefCount = %d", fo.RefCount)
+	}
+	if n := fo.Dereference(); n != 1 {
+		t.Errorf("Dereference = %d", n)
+	}
+	if n := fo.Dereference(); n != 0 {
+		t.Errorf("Dereference = %d", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("over-dereference did not panic")
+		}
+	}()
+	fo.Dereference()
+}
+
+func TestStringers(t *testing.T) {
+	if FastIoRead.String() != "FastIoRead" {
+		t.Errorf("FastIoRead = %q", FastIoRead.String())
+	}
+	if DispositionOverwriteIf.String() != "FILE_OVERWRITE_IF" {
+		t.Errorf("OverwriteIf = %q", DispositionOverwriteIf.String())
+	}
+	if FsctlIsVolumeMounted.String() != "FSCTL_IS_VOLUME_MOUNTED" {
+		t.Errorf("Fsctl = %q", FsctlIsVolumeMounted.String())
+	}
+	if SetInfoEndOfFile.String() != "FileEndOfFileInformation" {
+		t.Errorf("SetInfo = %q", SetInfoEndOfFile.String())
+	}
+	if IrpMnQueryDirectory.String() != "IRP_MN_QUERY_DIRECTORY" {
+		t.Errorf("minor = %q", IrpMnQueryDirectory.String())
+	}
+}

@@ -1,0 +1,240 @@
+// Package vmmgr models the Windows NT virtual memory manager's two file
+// system roles described in §3.3 of the paper: loading executables and
+// dynamic loadable libraries through memory-mapped image sections, and
+// backing application memory-mapped data files. Both generate paging IRPs
+// that re-enter the top of the driver stack (so the trace driver logs
+// them), and image pages frequently remain resident after their
+// application exits, giving fast re-start — the optimisation that made
+// exec-size-based accounting (the old BSD/Sprite trick) inappropriate on
+// NT.
+package vmmgr
+
+import (
+	"container/list"
+
+	"repro/internal/ntos/iomgr"
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+)
+
+// PageSize matches the cache manager's page size.
+const PageSize = 4096
+
+// ChunkBytes is the paging-read granularity for image loading.
+const ChunkBytes = 65536
+
+// Stats counts VM-manager activity.
+type Stats struct {
+	ImageLoads   uint64 // total LoadImage calls
+	SoftLoads    uint64 // satisfied from retained resident images
+	HardLoads    uint64 // required paging I/O
+	PagingReads  uint64
+	BytesPagedIn uint64
+	ImageEvicts  uint64
+
+	SectionsMapped uint64
+	SectionFaults  uint64
+}
+
+// Manager is one machine's VM manager.
+type Manager struct {
+	sched *sim.Scheduler
+	io    *iomgr.IOManager
+
+	// budgetBytes bounds retained image bytes (standby list pressure).
+	budgetBytes int64
+	usedBytes   int64
+	images      map[string]*image
+	lru         *list.List // of *image
+
+	// DemandFraction is the share of an image actually paged in on a cold
+	// load (demand paging touches the working set, not the whole file).
+	DemandFraction float64
+
+	Stats Stats
+}
+
+type image struct {
+	path  string
+	bytes int64
+	elem  *list.Element
+}
+
+// New creates a VM manager. budgetBytes <= 0 selects a 24 MB default
+// (standby-list share of a 64–128 MB machine).
+func New(sched *sim.Scheduler, io *iomgr.IOManager, budgetBytes int64) *Manager {
+	if budgetBytes <= 0 {
+		budgetBytes = 24 << 20
+	}
+	return &Manager{
+		sched:          sched,
+		io:             io,
+		budgetBytes:    budgetBytes,
+		images:         map[string]*image{},
+		lru:            list.New(),
+		DemandFraction: 0.6,
+	}
+}
+
+// ResidentImageBytes reports retained image bytes.
+func (m *Manager) ResidentImageBytes() int64 { return m.usedBytes }
+
+// LoadImage maps an executable or DLL for execution: open, page in the
+// working set (unless the image is still resident from an earlier run),
+// close. Returns the create status — notably StatusObjectNameNotFound
+// when a loader probes a search path, a large §8.4 error source.
+func (m *Manager) LoadImage(procID uint32, path string) types.Status {
+	m.Stats.ImageLoads++
+	h, st := m.io.CreateFile(procID, path,
+		types.AccessRead|types.AccessExecute, types.DispositionOpen, 0, 0)
+	if st.IsError() {
+		return st
+	}
+	defer m.io.CloseHandle(procID, h)
+
+	size, qst := m.io.QueryInformation(procID, h)
+	if qst.IsError() {
+		return qst
+	}
+	if img := m.images[path]; img != nil {
+		// Retained: soft fault only — a few microseconds per mapping.
+		m.Stats.SoftLoads++
+		m.lru.MoveToFront(img.elem)
+		m.sched.Advance(sim.FromMicroseconds(80))
+		return types.StatusSuccess
+	}
+	m.Stats.HardLoads++
+	want := int64(float64(size) * m.DemandFraction)
+	if want < PageSize {
+		want = min64(size, PageSize)
+	}
+	for off := int64(0); off < want; off += ChunkBytes {
+		n := int64(ChunkBytes)
+		if off+n > size {
+			n = size - off
+		}
+		if n <= 0 {
+			break
+		}
+		m.io.PagingRead(procID, h, off, int(n))
+		m.Stats.PagingReads++
+		m.Stats.BytesPagedIn += uint64(n)
+	}
+	m.retain(path, want)
+	return types.StatusSuccess
+}
+
+// retain adds an image to the standby list, evicting LRU images over
+// budget.
+func (m *Manager) retain(path string, bytes int64) {
+	img := &image{path: path, bytes: bytes}
+	img.elem = m.lru.PushFront(img)
+	m.images[path] = img
+	m.usedBytes += bytes
+	for m.usedBytes > m.budgetBytes && m.lru.Len() > 1 {
+		back := m.lru.Back()
+		old := back.Value.(*image)
+		m.lru.Remove(back)
+		delete(m.images, old.path)
+		m.usedBytes -= old.bytes
+		m.Stats.ImageEvicts++
+	}
+}
+
+// Section is a mapped view of a data file (scientific workloads read
+// small portions of 100–300 MB files through these, §6.1).
+type Section struct {
+	vm     *Manager
+	h      iomgr.Handle
+	fo     *types.FileObject
+	proc   uint32
+	size   int64
+	pages  map[int64]bool
+	mapped bool
+}
+
+// MapFile creates a section over an open handle. The section takes a
+// reference on the FileObject, extending its life past the handle close —
+// one of the sources of the long cleanup→close gaps in §8.1.
+func (m *Manager) MapFile(procID uint32, h iomgr.Handle) (*Section, types.Status) {
+	fo := m.io.Lookup(h)
+	if fo == nil {
+		return nil, types.StatusInvalidParameter
+	}
+	size, st := m.io.QueryInformation(procID, h)
+	if st.IsError() {
+		return nil, st
+	}
+	fo.Reference()
+	m.Stats.SectionsMapped++
+	return &Section{vm: m, h: h, fo: fo, proc: procID, size: size,
+		pages: map[int64]bool{}, mapped: true}, types.StatusSuccess
+}
+
+// Size returns the mapped file size.
+func (s *Section) Size() int64 { return s.size }
+
+// Read touches [offset, offset+length) of the view, faulting in missing
+// pages through paging reads.
+func (s *Section) Read(offset int64, length int) types.Status {
+	if !s.mapped {
+		return types.StatusInvalidParameter
+	}
+	if offset >= s.size {
+		return types.StatusEndOfFile
+	}
+	if offset+int64(length) > s.size {
+		length = int(s.size - offset)
+	}
+	first := offset / PageSize
+	last := (offset + int64(length) - 1) / PageSize
+	runStart := int64(-1)
+	for i := first; i <= last; i++ {
+		if s.pages[i] {
+			if runStart >= 0 {
+				s.fault(runStart, i-1)
+				runStart = -1
+			}
+			continue
+		}
+		if runStart < 0 {
+			runStart = i
+		}
+	}
+	if runStart >= 0 {
+		s.fault(runStart, last)
+	}
+	// Touch cost for resident pages.
+	s.vm.sched.Advance(sim.FromMicroseconds(1 + float64(length)/4096))
+	return types.StatusSuccess
+}
+
+func (s *Section) fault(first, last int64) {
+	length := (last - first + 1) * PageSize
+	s.vm.io.PagingRead(s.proc, s.h, first*PageSize, int(length))
+	s.vm.Stats.SectionFaults++
+	s.vm.Stats.PagingReads++
+	s.vm.Stats.BytesPagedIn += uint64(length)
+	for i := first; i <= last; i++ {
+		s.pages[i] = true
+	}
+}
+
+// Unmap releases the section's FileObject reference; when it was the last
+// reference the I/O manager sends the final close.
+func (s *Section) Unmap() {
+	if !s.mapped {
+		return
+	}
+	s.mapped = false
+	if s.fo.Dereference() == 0 {
+		s.vm.io.SendClose(s.fo)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

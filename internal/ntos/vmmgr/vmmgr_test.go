@@ -1,0 +1,136 @@
+package vmmgr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ntos/cachemgr"
+	"repro/internal/ntos/fsdrv"
+	"repro/internal/ntos/fsys"
+	"repro/internal/ntos/iomgr"
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+)
+
+// rig builds a minimal machine (no trace driver) plus the VM manager.
+func rig(t *testing.T, budget int64) (*Manager, *iomgr.IOManager, *fsys.FS, *sim.Scheduler) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(1)
+	io := iomgr.New(sched)
+	cache := cachemgr.New(sched, cachemgr.Config{})
+	dev := volume.New("C:", volume.IDE1998, volume.FlavorNTFS, rng.Fork(1))
+	fs := fsys.New(volume.FlavorNTFS, 1<<30)
+	fsd := fsdrv.New("ntfs", fs, dev, cache, sched, rng.Fork(2))
+	io.AddMount(&iomgr.Mount{Prefix: `C:`, Top: fsd, FS: fs})
+	io.ResolveCacheTarget(cache)
+	vm := New(sched, io, budget)
+	return vm, io, fs, sched
+}
+
+func addExe(t *testing.T, fs *fsys.FS, name string, size int64) {
+	t.Helper()
+	if _, st := fs.CreateFile(`\`+name, size, types.AttrNormal, 0); st.IsError() {
+		t.Fatalf("create %s: %v", name, st)
+	}
+}
+
+func TestLoadImageDemandFraction(t *testing.T) {
+	vm, _, fs, _ := rig(t, 0)
+	addExe(t, fs, "app.exe", 1<<20)
+	if st := vm.LoadImage(1, `C:\app.exe`); st.IsError() {
+		t.Fatalf("load: %v", st)
+	}
+	// Demand paging touches ~60% of the image.
+	want := uint64(float64(1<<20) * vm.DemandFraction)
+	got := vm.Stats.BytesPagedIn
+	if got < want*9/10 || got > want*11/10 {
+		t.Errorf("paged in %d, want ~%d", got, want)
+	}
+}
+
+func TestImageRetentionAndEviction(t *testing.T) {
+	vm, _, fs, _ := rig(t, 1<<20) // 1 MB standby budget
+	for i := 0; i < 4; i++ {
+		addExe(t, fs, fmt.Sprintf("m%d.dll", i), 600<<10)
+	}
+	vm.LoadImage(1, `C:\m0.dll`)
+	vm.LoadImage(1, `C:\m1.dll`) // evicts m0 (budget 1MB, each ~360KB... loads retained)
+	vm.LoadImage(1, `C:\m2.dll`)
+	vm.LoadImage(1, `C:\m3.dll`)
+	if vm.ResidentImageBytes() > 1<<20 {
+		t.Errorf("resident %d exceeds budget", vm.ResidentImageBytes())
+	}
+	if vm.Stats.ImageEvicts == 0 {
+		t.Error("no evictions despite budget pressure")
+	}
+	// Reload the most recent: soft.
+	hard := vm.Stats.HardLoads
+	vm.LoadImage(1, `C:\m3.dll`)
+	if vm.Stats.HardLoads != hard {
+		t.Error("recently loaded image was not retained")
+	}
+}
+
+func TestLoadImageMissing(t *testing.T) {
+	vm, _, _, _ := rig(t, 0)
+	if st := vm.LoadImage(1, `C:\gone.exe`); st != types.StatusObjectNameNotFound {
+		t.Errorf("missing load status = %v", st)
+	}
+}
+
+func TestSectionLifecycleHoldsFileObject(t *testing.T) {
+	vm, io, fs, sched := rig(t, 0)
+	addExe(t, fs, "data.bin", 256<<10)
+	h, st := io.CreateFile(1, `C:\data.bin`, types.AccessRead, types.DispositionOpen, 0, 0)
+	if st.IsError() {
+		t.Fatal(st)
+	}
+	sec, mst := vm.MapFile(1, h)
+	if mst.IsError() {
+		t.Fatal(mst)
+	}
+	io.CloseHandle(1, h)
+	// Mapped section keeps the object alive; reads still work.
+	if st := sec.Read(0, 4096); st.IsError() {
+		t.Errorf("read after handle close: %v", st)
+	}
+	faults := vm.Stats.SectionFaults
+	sec.Read(0, 4096)
+	if vm.Stats.SectionFaults != faults {
+		t.Error("refault of resident pages")
+	}
+	sec.Unmap()
+	if st := sec.Read(0, 4096); st != types.StatusInvalidParameter {
+		t.Errorf("read after unmap: %v", st)
+	}
+	sec.Unmap() // idempotent
+	sched.RunUntil(sched.Now().Add(sim.Second))
+}
+
+func TestSectionBounds(t *testing.T) {
+	vm, io, fs, _ := rig(t, 0)
+	addExe(t, fs, "small.dat", 10000)
+	h, _ := io.CreateFile(1, `C:\small.dat`, types.AccessRead, types.DispositionOpen, 0, 0)
+	sec, _ := vm.MapFile(1, h)
+	if sec.Size() != 10000 {
+		t.Errorf("size = %d", sec.Size())
+	}
+	if st := sec.Read(20000, 100); st != types.StatusEndOfFile {
+		t.Errorf("out-of-bounds read: %v", st)
+	}
+	// Straddling read clamps.
+	if st := sec.Read(9000, 5000); st.IsError() {
+		t.Errorf("clamped read: %v", st)
+	}
+	sec.Unmap()
+	io.CloseHandle(1, h)
+}
+
+func TestMapFileInvalidHandle(t *testing.T) {
+	vm, _, _, _ := rig(t, 0)
+	if _, st := vm.MapFile(1, 9999); st != types.StatusInvalidParameter {
+		t.Errorf("MapFile(bad handle) = %v", st)
+	}
+}

@@ -1,0 +1,98 @@
+package volume
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestReadLatencyComponents(t *testing.T) {
+	d := New("C:", IDE1998, FlavorNTFS, sim.NewRNG(1))
+	lat := d.ReadLatency(1<<20, 64<<10)
+	// Must include at least overhead + minimum seek; and be under a second.
+	if lat < IDE1998.PerRequestOverhead {
+		t.Errorf("latency %v below overhead", lat)
+	}
+	if lat > sim.Second {
+		t.Errorf("latency %v implausibly large", lat)
+	}
+	if d.Reads != 1 || d.BytesRead != 64<<10 {
+		t.Errorf("counters: reads=%d bytes=%d", d.Reads, d.BytesRead)
+	}
+}
+
+func TestSequentialFasterThanRandom(t *testing.T) {
+	// Average over many draws: sequential continuation must beat random.
+	d := New("C:", IDE1998, FlavorNTFS, sim.NewRNG(2))
+	var seq, rnd sim.Duration
+	const n = 200
+	offset := int64(0)
+	for i := 0; i < n; i++ {
+		seq += d.ReadLatency(offset, 4096)
+		offset += 4096
+	}
+	r := sim.NewRNG(3)
+	for i := 0; i < n; i++ {
+		rnd += d.ReadLatency(r.Int63n(1<<30), 4096)
+	}
+	if seq >= rnd/2 {
+		t.Errorf("sequential %v not clearly faster than random %v", seq, rnd)
+	}
+}
+
+func TestTransferScalesWithSize(t *testing.T) {
+	d := New("C:", SCSI1998, FlavorNTFS, sim.NewRNG(4))
+	small := d.ReadLatency(0, 4096)
+	large := d.ReadLatency(4096, 16<<20) // sequential continuation, pure transfer dominates
+	if large <= small {
+		t.Errorf("16MB read (%v) not slower than 4KB (%v)", large, small)
+	}
+	// 16 MB at 20 MB/s ≈ 0.8 s of transfer.
+	if large < sim.FromMilliseconds(700) {
+		t.Errorf("large transfer %v unexpectedly fast", large)
+	}
+}
+
+func TestWriteAndMetadataLatency(t *testing.T) {
+	d := New("C:", IDE1998, FlavorFAT, sim.NewRNG(5))
+	if lat := d.WriteLatency(0, 4096); lat <= 0 {
+		t.Errorf("write latency %v", lat)
+	}
+	if d.Writes != 1 || d.BytesWrote != 4096 {
+		t.Errorf("write counters: %d %d", d.Writes, d.BytesWrote)
+	}
+	if lat := d.MetadataLatency(); lat <= 0 || lat > sim.FromMilliseconds(20) {
+		t.Errorf("metadata latency %v", lat)
+	}
+}
+
+func TestRedirectorGeometry(t *testing.T) {
+	d := New(`\\server\share`, Redirector100Mb, FlavorCIFS, sim.NewRNG(6))
+	if d.Geo.Kind != KindRedirector {
+		t.Errorf("kind = %v", d.Geo.Kind)
+	}
+	// 1 MB over ~75Mb/s ≈ 110 ms; check order of magnitude.
+	lat := d.ReadLatency(0, 1<<20)
+	if lat < sim.FromMilliseconds(50) || lat > sim.FromMilliseconds(500) {
+		t.Errorf("1MB network read latency %v out of expected envelope", lat)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if KindIDE.String() != "IDE" || FlavorNTFS.String() != "NTFS" {
+		t.Error("kind/flavor strings wrong")
+	}
+	d := New("C:", IDE1998, FlavorNTFS, sim.NewRNG(7))
+	if d.String() == "" {
+		t.Error("device String empty")
+	}
+}
+
+func TestNilRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with nil RNG did not panic")
+		}
+	}()
+	New("C:", IDE1998, FlavorNTFS, nil)
+}

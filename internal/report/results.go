@@ -1,0 +1,199 @@
+// Package report computes and renders the paper's evaluation artefacts:
+// Table 1 (summary of observations), Table 2 (user activity), Table 3
+// (access patterns) and Figures 1–14, each as a text table suitable for
+// side-by-side comparison with the published curves. EXPERIMENTS.md is
+// generated from these renderers.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Results holds every derived measure for a study.
+type Results struct {
+	DS *analysis.DataSet
+
+	// PerMachine instance tables, keyed by machine name.
+	PerMachine map[string][]*analysis.Instance
+	// All is the concatenated instance table.
+	All []*analysis.Instance
+
+	// Lifetimes merged across machines.
+	Lifetimes analysis.LifetimeStats
+	// Controls and Cache merged across machines.
+	Controls analysis.ControlStats
+	Cache    analysis.CacheMeasures
+	Reuse    analysis.ReuseStats
+
+	// FastIO shares per machine.
+	ReadShares, WriteShares []float64
+}
+
+// Compute builds Results from a data set.
+func Compute(ds *analysis.DataSet) *Results {
+	r := &Results{DS: ds, PerMachine: map[string][]*analysis.Instance{}}
+	for _, mt := range ds.Machines {
+		ins := analysis.BuildInstances(mt)
+		r.PerMachine[mt.Name] = ins
+		r.All = append(r.All, ins...)
+
+		lt := analysis.Lifetimes(mt)
+		r.Lifetimes.Samples = append(r.Lifetimes.Samples, lt.Samples...)
+		r.Lifetimes.Births += lt.Births
+		r.Lifetimes.SurvivorCount += lt.SurvivorCount
+
+		c := analysis.Controls(mt, ins)
+		r.Controls.Opens += c.Opens
+		r.Controls.FailedOpens += c.FailedOpens
+		r.Controls.ControlOnly += c.ControlOnly
+		r.Controls.NotFoundErrors += c.NotFoundErrors
+		r.Controls.CollisionErrors += c.CollisionErrors
+		r.Controls.ReadErrors += c.ReadErrors
+		r.Controls.Reads += c.Reads
+		r.Controls.VolumeMountedOps += c.VolumeMountedOps
+		r.Controls.SetEndOfFileOps += c.SetEndOfFileOps
+
+		cm := analysis.Cache(mt, ins)
+		r.Cache.Reads += cm.Reads
+		r.Cache.ReadsFromCache += cm.ReadsFromCache
+		r.Cache.ReadSessions += cm.ReadSessions
+		r.Cache.SinglePrefetch += cm.SinglePrefetch
+		r.Cache.ReadAheadOps += cm.ReadAheadOps
+		r.Cache.LazyWriteOps += cm.LazyWriteOps
+		r.Cache.FlushOps += cm.FlushOps
+		r.Cache.WriteSessions += cm.WriteSessions
+		r.Cache.FlushPerWrite += cm.FlushPerWrite
+		r.Cache.CacheDisabledSessions += cm.CacheDisabledSessions
+		r.Cache.DataSessions += cm.DataSessions
+
+		ru := analysis.Reuse(ins)
+		r.Reuse.ReadOnlyPaths += ru.ReadOnlyPaths
+		r.Reuse.ReadOnlyReopened += ru.ReadOnlyReopened
+		r.Reuse.WriteOnlyPaths += ru.WriteOnlyPaths
+		r.Reuse.WriteOnlyReWritten += ru.WriteOnlyReWritten
+		r.Reuse.WriteOnlyThenRead += ru.WriteOnlyThenRead
+		r.Reuse.ReadWritePaths += ru.ReadWritePaths
+		r.Reuse.ReadWriteReopened += ru.ReadWriteReopened
+
+		rs, ws := analysis.FastIOShares(mt)
+		r.ReadShares = append(r.ReadShares, rs)
+		r.WriteShares = append(r.WriteShares, ws)
+	}
+	return r
+}
+
+// mean of a float slice (0 for empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// cdfTable renders a CDF as aligned columns of (value, cumulative %).
+func cdfTable(title, unit string, c *stats.CDF, points int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (n=%d)\n", title, c.N())
+	fmt.Fprintf(&b, "  %14s  %8s\n", unit, "cum %")
+	for _, p := range c.Points(points, true) {
+		fmt.Fprintf(&b, "  %14.4g  %8.1f\n", p.Value, p.Fraction*100)
+	}
+	return b.String()
+}
+
+// quantileLine summarises key CDF marks on one line.
+func quantileLine(name string, c *stats.CDF, unit string) string {
+	if c.N() == 0 {
+		return fmt.Sprintf("  %-28s (no samples)\n", name)
+	}
+	return fmt.Sprintf("  %-28s p50=%.4g%s p75=%.4g%s p90=%.4g%s p99=%.4g%s\n",
+		name,
+		c.Quantile(0.50), unit, c.Quantile(0.75), unit,
+		c.Quantile(0.90), unit, c.Quantile(0.99), unit)
+}
+
+// machineNames returns sorted machine names.
+func (r *Results) machineNames() []string {
+	names := make([]string, 0, len(r.PerMachine))
+	for n := range r.PerMachine {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// perMachineRange computes f per machine and returns mean, min, max.
+func (r *Results) perMachineRange(f func(ins []*analysis.Instance) float64) (avg, lo, hi float64) {
+	var vals []float64
+	for _, name := range r.machineNames() {
+		vals = append(vals, f(r.PerMachine[name]))
+	}
+	if len(vals) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return mean(vals), lo, hi
+}
+
+// HoldCDF builds the hold-time CDF (ms) under a predicate.
+func (r *Results) HoldCDF(pred func(*analysis.Instance) bool) *stats.CDF {
+	return stats.NewCDF(analysis.HoldTimes(r.All, pred))
+}
+
+// OpenGapSampleMachine picks the machine with the most records (the
+// "randomly chosen" single trace file of Figures 8–10).
+func (r *Results) OpenGapSampleMachine() *analysis.MachineTrace {
+	var best *analysis.MachineTrace
+	for _, mt := range r.DS.Machines {
+		if best == nil || len(mt.Records) > len(best.Records) {
+			best = mt
+		}
+	}
+	return best
+}
+
+// TotalRecords counts trace records in the data set.
+func (r *Results) TotalRecords() int {
+	n := 0
+	for _, mt := range r.DS.Machines {
+		n += len(mt.Records)
+	}
+	return n
+}
+
+// Duration returns the trace time span.
+func (r *Results) Duration() sim.Duration {
+	var lo, hi sim.Time
+	first := true
+	for _, mt := range r.DS.Machines {
+		for i := range mt.Records {
+			t := mt.Records[i].Start
+			if first || t < lo {
+				lo = t
+			}
+			if first || t > hi {
+				hi = t
+			}
+			first = false
+		}
+	}
+	return hi.Sub(lo)
+}

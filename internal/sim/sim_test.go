@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationConversions(t *testing.T) {
+	if Second != 10_000_000 {
+		t.Fatalf("Second = %d ticks, want 10,000,000", int64(Second))
+	}
+	if got := FromSeconds(1.5); got != 15_000_000 {
+		t.Errorf("FromSeconds(1.5) = %d, want 15,000,000", int64(got))
+	}
+	if got := FromMilliseconds(2); got != 20_000 {
+		t.Errorf("FromMilliseconds(2) = %d, want 20,000", int64(got))
+	}
+	if got := FromMicroseconds(3); got != 30 {
+		t.Errorf("FromMicroseconds(3) = %d, want 30", int64(got))
+	}
+	if got := FromSeconds(-1); got != 0 {
+		t.Errorf("FromSeconds(-1) = %d, want 0", int64(got))
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	f := func(ms uint32) bool {
+		d := FromMilliseconds(float64(ms))
+		return math.Abs(d.Milliseconds()-float64(ms)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{2 * Hour, "2.00h"},
+		{3 * Second, "3.000s"},
+		{5 * Millisecond, "5.000ms"},
+		{7 * Microsecond, "7.0us"},
+		{3, "3x100ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30, func(*Scheduler) { order = append(order, 3) })
+	s.At(10, func(*Scheduler) { order = append(order, 1) })
+	s.At(20, func(*Scheduler) { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran in order %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("clock = %v, want 30", s.Now())
+	}
+}
+
+func TestSchedulerTieBreakFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func(*Scheduler) { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	e := s.At(10, func(*Scheduler) { ran = true })
+	e.Cancel()
+	s.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if s.Ran() != 0 {
+		t.Errorf("Ran() = %d, want 0", s.Ran())
+	}
+}
+
+func TestSchedulerChainedEvents(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func(*Scheduler)
+	tick = func(sc *Scheduler) {
+		count++
+		if count < 5 {
+			sc.After(Second, tick)
+		}
+	}
+	s.After(Second, tick)
+	s.Run()
+	if count != 5 {
+		t.Errorf("chained ticks = %d, want 5", count)
+	}
+	if s.Now() != Time(5*Second) {
+		t.Errorf("clock = %v, want 5s", s.Now())
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var ran []Time
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Time(Second), func(sc *Scheduler) { ran = append(ran, sc.Now()) })
+	}
+	s.RunUntil(Time(4 * Second))
+	if len(ran) != 4 {
+		t.Fatalf("RunUntil(4s) ran %d events, want 4", len(ran))
+	}
+	if s.Now() != Time(4*Second) {
+		t.Errorf("clock after RunUntil = %v, want 4s", s.Now())
+	}
+	s.RunUntil(Time(20 * Second))
+	if len(ran) != 10 {
+		t.Errorf("total events = %d, want 10", len(ran))
+	}
+	if s.Now() != Time(20*Second) {
+		t.Errorf("clock = %v, want 20s", s.Now())
+	}
+}
+
+func TestSchedulerPastSchedulingClamps(t *testing.T) {
+	s := NewScheduler()
+	s.At(100, func(sc *Scheduler) {
+		sc.At(50, func(sc2 *Scheduler) {
+			if sc2.Now() != 100 {
+				t.Errorf("past-scheduled event ran at %v, want 100", sc2.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestSchedulerAdvance(t *testing.T) {
+	s := NewScheduler()
+	s.Advance(5 * Millisecond)
+	if s.Now() != Time(5*Millisecond) {
+		t.Errorf("Advance: clock = %v, want 5ms", s.Now())
+	}
+	s.Advance(-3)
+	if s.Now() != Time(5*Millisecond) {
+		t.Errorf("negative Advance moved clock to %v", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	s.At(1, func(sc *Scheduler) { count++; sc.Stop() })
+	s.At(2, func(*Scheduler) { count++ })
+	s.Run()
+	if count != 1 {
+		t.Errorf("Stop did not halt run: count = %d", count)
+	}
+	s.Run() // resumes
+	if count != 2 {
+		t.Errorf("second Run: count = %d, want 2", count)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different-seed RNGs matched %d/1000 draws", same)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	root := NewRNG(7)
+	f1 := root.Fork(1)
+	f2 := root.Fork(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams matched %d/1000 draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(2)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(4)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm(20) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(5)
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestEventQueueLargeLoad(t *testing.T) {
+	s := NewScheduler()
+	r := NewRNG(6)
+	const n = 20000
+	var last Time = -1
+	for i := 0; i < n; i++ {
+		s.At(Time(r.Int63n(1000000)), func(sc *Scheduler) {
+			if sc.Now() < last {
+				t.Fatal("time went backwards")
+			}
+			last = sc.Now()
+		})
+	}
+	s.Run()
+	if s.Ran() != n {
+		t.Errorf("ran %d events, want %d", s.Ran(), n)
+	}
+}

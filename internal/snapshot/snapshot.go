@@ -1,0 +1,259 @@
+// Package snapshot implements the file-system state snapshots of §3.1:
+// each morning at 4 a.m. the trace agent walks the local file-system trees
+// and produces a sequence of records containing each file's and
+// directory's attributes, in an order from which the original tree can be
+// recovered. Names are stored in short form (the study cares about file
+// types, not individual names). On FAT file systems the creation and
+// last-access times are not maintained and are recorded as zero.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ntos/fsys"
+	"repro/internal/sim"
+)
+
+// WalkRecord is one file or directory in a snapshot. Depth allows tree
+// reconstruction from the pre-order sequence, per §3.1.
+type WalkRecord struct {
+	// Name is the short-form entry name (base name, truncated).
+	Name string `json:"n"`
+	// Depth in the tree; the root is 0. Pre-order traversal plus depth
+	// recovers the tree.
+	Depth int   `json:"d"`
+	IsDir bool  `json:"dir,omitempty"`
+	Size  int64 `json:"s,omitempty"`
+
+	// The three time attributes (ticks; 0 where the FS does not maintain
+	// them). §5 warns these are unreliable — the analysis checks that.
+	Created      sim.Time `json:"ct,omitempty"`
+	LastModified sim.Time `json:"mt,omitempty"`
+	LastAccessed sim.Time `json:"at,omitempty"`
+
+	// Directory fan-out (directories only).
+	NumFiles   int `json:"nf,omitempty"`
+	NumSubdirs int `json:"nd,omitempty"`
+}
+
+// Ext returns the lower-case extension of the record's name.
+func (w WalkRecord) Ext() string {
+	if i := strings.LastIndexByte(w.Name, '.'); i >= 0 && i < len(w.Name)-1 {
+		return strings.ToLower(w.Name[i+1:])
+	}
+	return ""
+}
+
+// shortName truncates names, as the paper stored them in short form.
+func shortName(name string) string {
+	const max = 32
+	if len(name) <= max {
+		return name
+	}
+	// Keep the extension: the analysis is type-driven.
+	if i := strings.LastIndexByte(name, '.'); i > 0 && len(name)-i <= 8 {
+		keep := max - (len(name) - i)
+		return name[:keep] + name[i:]
+	}
+	return name[:max]
+}
+
+// Snapshot is one volume's walk at a point in time.
+type Snapshot struct {
+	Machine string       `json:"machine"`
+	Volume  string       `json:"volume"`
+	TakenAt sim.Time     `json:"taken_at"`
+	Records []WalkRecord `json:"records"`
+}
+
+// Take walks fs producing a snapshot. The walk is deterministic
+// (children in sorted order).
+func Take(machine, vol string, fs *fsys.FS, now sim.Time) *Snapshot {
+	snap := &Snapshot{Machine: machine, Volume: vol, TakenAt: now}
+	var rec func(n *fsys.Node, depth int)
+	rec = func(n *fsys.Node, depth int) {
+		w := WalkRecord{
+			Name:         shortName(n.Name),
+			Depth:        depth,
+			IsDir:        n.IsDir(),
+			Size:         n.Size,
+			Created:      n.Created,
+			LastModified: n.LastModified,
+			LastAccessed: n.LastAccessed,
+		}
+		if n.IsDir() {
+			for _, name := range n.ChildNames() {
+				if n.Child(name).IsDir() {
+					w.NumSubdirs++
+				} else {
+					w.NumFiles++
+				}
+			}
+		}
+		snap.Records = append(snap.Records, w)
+		if n.IsDir() {
+			for _, name := range n.ChildNames() {
+				rec(n.Child(name), depth+1)
+			}
+		}
+	}
+	rec(fs.Root, 0)
+	return snap
+}
+
+// Files returns the non-directory records.
+func (s *Snapshot) Files() []WalkRecord {
+	out := make([]WalkRecord, 0, len(s.Records))
+	for _, r := range s.Records {
+		if !r.IsDir {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Dirs returns the directory records.
+func (s *Snapshot) Dirs() []WalkRecord {
+	out := make([]WalkRecord, 0, len(s.Records))
+	for _, r := range s.Records {
+		if r.IsDir {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalBytes sums file sizes.
+func (s *Snapshot) TotalBytes() int64 {
+	var total int64
+	for _, r := range s.Records {
+		if !r.IsDir {
+			total += r.Size
+		}
+	}
+	return total
+}
+
+// paths reconstructs full paths from the pre-order/depth sequence —
+// the §3.1 "in such a way that the original tree can be recovered".
+func (s *Snapshot) paths() []string {
+	out := make([]string, len(s.Records))
+	stack := make([]string, 0, 16) // ancestor names at depths 1..k
+	for i, r := range s.Records {
+		if r.Depth == 0 {
+			out[i] = `\`
+			stack = stack[:0]
+			continue
+		}
+		if r.Depth-1 < len(stack) {
+			stack = stack[:r.Depth-1]
+		}
+		parts := append(append([]string{}, stack...), r.Name)
+		out[i] = `\` + strings.Join(parts, `\`)
+		if r.IsDir {
+			stack = append(stack, r.Name)
+		}
+	}
+	return out
+}
+
+// Entry pairs a reconstructed path with its record.
+type Entry struct {
+	Path string
+	Rec  WalkRecord
+}
+
+// Entries returns path-resolved records.
+func (s *Snapshot) Entries() []Entry {
+	ps := s.paths()
+	out := make([]Entry, len(ps))
+	for i := range ps {
+		out[i] = Entry{Path: ps[i], Rec: s.Records[i]}
+	}
+	return out
+}
+
+// Diff summarises day-over-day change between two snapshots of the same
+// volume — the §5 content-change analysis ("a commonly observed daily
+// pattern is one where 300-500 files change or are added").
+type Diff struct {
+	Added   []Entry
+	Removed []Entry
+	Changed []Entry // same path, different size or times
+}
+
+// Compare computes the Diff from old to new.
+func Compare(oldSnap, newSnap *Snapshot) Diff {
+	oldBy := map[string]WalkRecord{}
+	for _, e := range oldSnap.Entries() {
+		oldBy[strings.ToLower(e.Path)] = e.Rec
+	}
+	var d Diff
+	seen := map[string]bool{}
+	for _, e := range newSnap.Entries() {
+		key := strings.ToLower(e.Path)
+		seen[key] = true
+		oldRec, ok := oldBy[key]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, e)
+		case !e.Rec.IsDir && (oldRec.Size != e.Rec.Size || oldRec.LastModified != e.Rec.LastModified):
+			d.Changed = append(d.Changed, e)
+		}
+	}
+	for _, e := range oldSnap.Entries() {
+		if !seen[strings.ToLower(e.Path)] {
+			d.Removed = append(d.Removed, e)
+		}
+	}
+	sort.Slice(d.Added, func(i, j int) bool { return d.Added[i].Path < d.Added[j].Path })
+	sort.Slice(d.Removed, func(i, j int) bool { return d.Removed[i].Path < d.Removed[j].Path })
+	sort.Slice(d.Changed, func(i, j int) bool { return d.Changed[i].Path < d.Changed[j].Path })
+	return d
+}
+
+// FractionUnder reports what fraction of the diff's added+changed entries
+// fall under the given path prefix (case-insensitive) — used for the §5
+// "94% of file system content changes are in the tree of user profiles"
+// and "up to 90% of changes in the user's profile occur in the WWW cache"
+// measurements.
+func (d Diff) FractionUnder(prefix string) float64 {
+	prefix = strings.ToLower(prefix)
+	total, under := 0, 0
+	count := func(es []Entry) {
+		for _, e := range es {
+			if e.Rec.IsDir {
+				continue
+			}
+			total++
+			if strings.HasPrefix(strings.ToLower(e.Path), prefix) {
+				under++
+			}
+		}
+	}
+	count(d.Added)
+	count(d.Changed)
+	if total == 0 {
+		return 0
+	}
+	return float64(under) / float64(total)
+}
+
+// Write serialises the snapshot as JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// Read deserialises a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,170 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ntos/fsys"
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+)
+
+func buildFS(t *testing.T) *fsys.FS {
+	t.Helper()
+	fs := fsys.New(volume.FlavorNTFS, 1<<30)
+	fs.MkdirAll(`\winnt\profiles\alice\Temporary Internet Files`, 10)
+	fs.MkdirAll(`\docs`, 10)
+	fs.CreateFile(`\docs\a.txt`, 100, types.AttrNormal, 20)
+	fs.CreateFile(`\docs\b.doc`, 2000, types.AttrNormal, 30)
+	fs.CreateFile(`\winnt\profiles\alice\Temporary Internet Files\x.gif`, 500, types.AttrNormal, 40)
+	return fs
+}
+
+func TestTakeCountsAndBytes(t *testing.T) {
+	fs := buildFS(t)
+	snap := Take("m1", `C:`, fs, 100)
+	if snap.Machine != "m1" || snap.TakenAt != 100 {
+		t.Errorf("header: %+v", snap)
+	}
+	files := snap.Files()
+	if len(files) != 3 {
+		t.Fatalf("files = %d", len(files))
+	}
+	if got := snap.TotalBytes(); got != 2600 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	dirs := snap.Dirs()
+	// root, winnt, profiles, alice, TIF, docs.
+	if len(dirs) != 6 {
+		t.Errorf("dirs = %d", len(dirs))
+	}
+}
+
+func TestDirectoryFanOutRecorded(t *testing.T) {
+	fs := buildFS(t)
+	snap := Take("m1", `C:`, fs, 100)
+	for _, e := range snap.Entries() {
+		if e.Path == `\docs` {
+			if e.Rec.NumFiles != 2 || e.Rec.NumSubdirs != 0 {
+				t.Errorf("docs fan-out: %+v", e.Rec)
+			}
+			return
+		}
+	}
+	t.Fatal("\\docs not found in snapshot")
+}
+
+func TestTreeRecoverable(t *testing.T) {
+	// §3.1: "in such a way that the original tree can be recovered".
+	fs := buildFS(t)
+	snap := Take("m1", `C:`, fs, 100)
+	paths := map[string]bool{}
+	for _, e := range snap.Entries() {
+		paths[e.Path] = true
+	}
+	for _, want := range []string{
+		`\`, `\docs`, `\docs\a.txt`, `\docs\b.doc`,
+		`\winnt\profiles\alice\Temporary Internet Files\x.gif`,
+	} {
+		if !paths[want] {
+			t.Errorf("path %q not recoverable from walk records", want)
+		}
+	}
+}
+
+func TestShortNamesKeepExtension(t *testing.T) {
+	fs := fsys.New(volume.FlavorNTFS, 1<<30)
+	long := strings.Repeat("verylongname", 6) + ".html"
+	fs.CreateFile(`\`+long, 10, types.AttrNormal, 0)
+	snap := Take("m", `C:`, fs, 0)
+	for _, f := range snap.Files() {
+		if len(f.Name) > 40 {
+			t.Errorf("name not shortened: %q (%d chars)", f.Name, len(f.Name))
+		}
+		if f.Ext() != "html" {
+			t.Errorf("extension lost in shortening: %q", f.Name)
+		}
+	}
+}
+
+func TestCompareDiff(t *testing.T) {
+	fs := buildFS(t)
+	old := Take("m1", `C:`, fs, 100)
+
+	// Mutate: add one file, change one, remove one.
+	fs.CreateFile(`\docs\new.txt`, 50, types.AttrNormal, 200)
+	n, _ := fs.Lookup(`\docs\a.txt`)
+	fs.SetSize(n, 150, 210)
+	b, _ := fs.Lookup(`\docs\b.doc`)
+	fs.Remove(b)
+
+	cur := Take("m1", `C:`, fs, 300)
+	d := Compare(old, cur)
+	if len(d.Added) != 1 || d.Added[0].Path != `\docs\new.txt` {
+		t.Errorf("Added = %+v", d.Added)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].Path != `\docs\a.txt` {
+		t.Errorf("Changed = %+v", d.Changed)
+	}
+	if len(d.Removed) != 1 || d.Removed[0].Path != `\docs\b.doc` {
+		t.Errorf("Removed = %+v", d.Removed)
+	}
+}
+
+func TestFractionUnder(t *testing.T) {
+	fs := buildFS(t)
+	old := Take("m1", `C:`, fs, 100)
+	// Two changes under the profile, one outside.
+	fs.CreateFile(`\winnt\profiles\alice\Temporary Internet Files\y.gif`, 10, types.AttrNormal, 200)
+	fs.CreateFile(`\winnt\profiles\alice\z.dat`, 10, types.AttrNormal, 200)
+	fs.CreateFile(`\docs\out.txt`, 10, types.AttrNormal, 200)
+	cur := Take("m1", `C:`, fs, 300)
+	d := Compare(old, cur)
+	if got := d.FractionUnder(`\winnt\profiles`); got < 0.66 || got > 0.67 {
+		t.Errorf("FractionUnder(profiles) = %v, want 2/3", got)
+	}
+	if got := d.FractionUnder(`\winnt\profiles\alice\Temporary Internet Files`); got < 0.33 || got > 0.34 {
+		t.Errorf("FractionUnder(WWW cache) = %v, want 1/3", got)
+	}
+}
+
+func TestFATTimesZeroInSnapshot(t *testing.T) {
+	fs := fsys.New(volume.FlavorFAT, 1<<30)
+	fs.CreateFile(`\f.dat`, 10, types.AttrNormal, sim.Time(5*sim.Second))
+	snap := Take("m", `C:`, fs, sim.Time(10*sim.Second))
+	for _, f := range snap.Files() {
+		if f.Created != 0 || f.LastAccessed != 0 {
+			t.Errorf("FAT snapshot carries created/accessed times: %+v", f)
+		}
+		if f.LastModified == 0 {
+			t.Error("FAT snapshot lost modified time")
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := buildFS(t)
+	snap := Take("m1", `C:`, fs, 100)
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machine != snap.Machine || len(got.Records) != len(snap.Records) {
+		t.Errorf("round trip: %d vs %d records", len(got.Records), len(snap.Records))
+	}
+	if got.Records[3] != snap.Records[3] {
+		t.Error("record corrupted in round trip")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package stats
+
+import "math"
+
+// Self-similarity diagnostics for arrival processes (§7, conclusion 4:
+// "examine distributions for possible self-similar properties"; Gribble
+// et al. found such evidence in the Sprite traces but lamented their lack
+// of detail — the NT traces carry enough).
+//
+// Two standard estimators of the Hurst parameter H are provided: the
+// aggregated-variance method (the slope of the variance-time plot) and
+// rescaled-range (R/S) analysis. H = 0.5 for short-range-dependent
+// processes (Poisson); 0.5 < H < 1 indicates long-range dependence.
+
+// VariancePoint is one point of the variance-time plot: log10(m) against
+// log10(Var(X^(m))) where X^(m) is the series aggregated at level m.
+type VariancePoint struct {
+	LogM   float64
+	LogVar float64
+}
+
+// aggregate averages consecutive blocks of m samples.
+func aggregate(xs []float64, m int) []float64 {
+	n := len(xs) / m
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < m; j++ {
+			sum += xs[i*m+j]
+		}
+		out[i] = sum / float64(m)
+	}
+	return out
+}
+
+func variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return v / float64(len(xs)-1)
+}
+
+// VarianceTimePlot computes the variance of the aggregated series for
+// geometrically spaced aggregation levels.
+func VarianceTimePlot(counts []float64, levels int) []VariancePoint {
+	if len(counts) < 8 || levels < 2 {
+		return nil
+	}
+	maxM := len(counts) / 8
+	if maxM < 2 {
+		return nil
+	}
+	ratio := math.Pow(float64(maxM), 1/float64(levels-1))
+	var out []VariancePoint
+	seen := map[int]bool{}
+	m := 1.0
+	for i := 0; i < levels; i++ {
+		mi := int(math.Round(m))
+		if mi < 1 {
+			mi = 1
+		}
+		if !seen[mi] {
+			seen[mi] = true
+			v := variance(aggregate(counts, mi))
+			if v > 0 {
+				out = append(out, VariancePoint{LogM: math.Log10(float64(mi)), LogVar: math.Log10(v)})
+			}
+		}
+		m *= ratio
+	}
+	return out
+}
+
+// HurstVariance estimates H from the variance-time plot slope β:
+// H = 1 + β/2 (β = -1 for SRD ⇒ H = 0.5; β > -1 ⇒ H > 0.5).
+func HurstVariance(counts []float64) float64 {
+	pts := VarianceTimePlot(counts, 12)
+	if len(pts) < 3 {
+		return 0
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.LogM
+		ys[i] = p.LogVar
+	}
+	_, beta := LeastSquares(xs, ys)
+	h := 1 + beta/2
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h
+}
+
+// HurstRS estimates H by rescaled-range analysis: for block sizes n,
+// E[R(n)/S(n)] ~ c·n^H.
+func HurstRS(xs []float64) float64 {
+	if len(xs) < 32 {
+		return 0
+	}
+	var logN, logRS []float64
+	for n := 8; n <= len(xs)/4; n *= 2 {
+		blocks := len(xs) / n
+		if blocks < 2 {
+			break
+		}
+		sum := 0.0
+		used := 0
+		for b := 0; b < blocks; b++ {
+			rs := rescaledRange(xs[b*n : (b+1)*n])
+			if rs > 0 {
+				sum += rs
+				used++
+			}
+		}
+		if used == 0 {
+			continue
+		}
+		logN = append(logN, math.Log10(float64(n)))
+		logRS = append(logRS, math.Log10(sum/float64(used)))
+	}
+	if len(logN) < 3 {
+		return 0
+	}
+	_, h := LeastSquares(logN, logRS)
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h
+}
+
+// rescaledRange computes R/S of one block.
+func rescaledRange(xs []float64) float64 {
+	n := len(xs)
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	// Cumulative deviations.
+	minY, maxY := 0.0, 0.0
+	y := 0.0
+	var sq float64
+	for _, x := range xs {
+		d := x - mean
+		y += d
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+		sq += d * d
+	}
+	s := math.Sqrt(sq / float64(n))
+	if s == 0 {
+		return 0
+	}
+	return (maxY - minY) / s
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// poissonCounts builds an iid Poisson count series (H ≈ 0.5).
+func poissonCounts(n int, lambda float64, seed uint64) []float64 {
+	p := dist.NewPoisson(lambda)
+	r := sim.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Sample(r)
+	}
+	return out
+}
+
+// lrdCounts builds a long-range-dependent count series by superposing
+// heavy-tailed ON/OFF sources (the standard construction).
+func lrdCounts(n int, sources int, seed uint64) []float64 {
+	out := make([]float64, n)
+	root := sim.NewRNG(seed)
+	for s := 0; s < sources; s++ {
+		src := dist.NewOnOff(
+			dist.NewBoundedPareto(1, float64(n)/2, 1.2),
+			dist.NewBoundedPareto(1, float64(n)/2, 1.2),
+			dist.NewBoundedPareto(0.05, 1, 1.5),
+		)
+		r := root.Fork(uint64(s))
+		t := 0.0
+		for t < float64(n) {
+			t += src.Next(r)
+			idx := int(t)
+			if idx >= 0 && idx < n {
+				out[idx]++
+			}
+		}
+	}
+	return out
+}
+
+func TestAggregate(t *testing.T) {
+	xs := []float64{1, 3, 2, 4, 5, 7}
+	got := aggregate(xs, 2)
+	want := []float64{2, 3, 6}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("aggregate = %v", got)
+	}
+}
+
+func TestVarianceTimePlotMonotoneDecline(t *testing.T) {
+	counts := poissonCounts(50000, 10, 1)
+	pts := VarianceTimePlot(counts, 10)
+	if len(pts) < 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].LogVar <= pts[len(pts)-1].LogVar {
+		t.Error("aggregated variance did not decline")
+	}
+}
+
+func TestHurstPoissonNearHalf(t *testing.T) {
+	counts := poissonCounts(100000, 10, 2)
+	h := HurstVariance(counts)
+	if math.Abs(h-0.5) > 0.1 {
+		t.Errorf("Hurst(variance) of iid Poisson = %v, want ~0.5", h)
+	}
+	hrs := HurstRS(counts)
+	// R/S has a known small-sample upward bias; accept a wider band.
+	if hrs < 0.4 || hrs > 0.68 {
+		t.Errorf("Hurst(R/S) of iid Poisson = %v, want ~0.5-0.6", hrs)
+	}
+}
+
+func TestHurstLRDAboveHalf(t *testing.T) {
+	counts := lrdCounts(60000, 30, 3)
+	hv := HurstVariance(counts)
+	if hv < 0.6 {
+		t.Errorf("Hurst(variance) of ON/OFF superposition = %v, want > 0.6", hv)
+	}
+	hrs := HurstRS(counts)
+	if hrs < 0.6 {
+		t.Errorf("Hurst(R/S) of ON/OFF superposition = %v, want > 0.6", hrs)
+	}
+	// The LRD series must rank above the Poisson one on both estimators.
+	pc := poissonCounts(60000, 10, 4)
+	if HurstVariance(pc) >= hv {
+		t.Error("variance estimator failed to separate LRD from Poisson")
+	}
+}
+
+func TestHurstDegenerate(t *testing.T) {
+	if h := HurstVariance([]float64{1, 2}); h != 0 {
+		t.Errorf("tiny series H = %v", h)
+	}
+	if h := HurstRS(make([]float64, 10)); h != 0 {
+		t.Errorf("short series H = %v", h)
+	}
+	// Constant series: zero variance everywhere.
+	c := make([]float64, 10000)
+	for i := range c {
+		c[i] = 5
+	}
+	_ = HurstVariance(c) // must not panic
+	_ = HurstRS(c)
+}

@@ -1,0 +1,357 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Sum != 15 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Stdev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Stdev = %v", s.Stdev)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty Summary = %+v", s)
+	}
+	if s.Percentile(50) != 0 {
+		t.Errorf("empty percentile nonzero")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if got := s.Percentile(50); got != 5 {
+		t.Errorf("P50 of {0,10} = %v, want 5", got)
+	}
+	if got := s.Percentile(0); got != 0 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 10 {
+		t.Errorf("P100 = %v", got)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		s := Summarize(xs)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if got := Correlation(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("zero-variance correlation = %v", got)
+	}
+	if got := Correlation(nil, nil); got != 0 {
+		t.Errorf("empty correlation = %v", got)
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := LeastSquares(xs, ys)
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 {
+		t.Errorf("fit = %v + %v x, want 1 + 2x", a, b)
+	}
+	a, b = LeastSquares(nil, nil)
+	if a != 0 || b != 0 {
+		t.Errorf("empty fit = %v, %v", a, b)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+}
+
+func TestWeightedCDF(t *testing.T) {
+	// One large value carries 90% of the weight.
+	c := NewWeightedCDF([]float64{1, 100}, []float64{1, 9})
+	if got := c.At(1); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("At(1) = %v, want 0.1", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Errorf("At(100) = %v", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 10, 100, 1000})
+	pts := c.Points(10, true)
+	if len(pts) != 10 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	prev := -1.0
+	for _, p := range pts {
+		if p.Fraction < prev {
+			t.Fatal("CDF points not monotone")
+		}
+		prev = p.Fraction
+	}
+	if pts[len(pts)-1].Fraction != 1 {
+		t.Errorf("last fraction = %v", pts[len(pts)-1].Fraction)
+	}
+	lin := c.Points(5, false)
+	if len(lin) != 5 {
+		t.Errorf("linear Points len = %d", len(lin))
+	}
+}
+
+func TestCDFQuantileInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		c := NewCDF(xs)
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			v := c.Quantile(q)
+			if c.At(v) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	xs := []float64{1, 5, 50, 500, 5000}
+	bins := LogHistogram(xs, 1, 10, 4)
+	if len(bins) != 4 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Errorf("histogram lost values: %d", total)
+	}
+	// 5000 exceeds the last bin bound (10^4) boundary: bin[3] covers [1000,10000).
+	if bins[3].Count != 1 {
+		t.Errorf("last bin count = %d", bins[3].Count)
+	}
+}
+
+func TestHillEstimatorRecoversAlpha(t *testing.T) {
+	for _, alpha := range []float64{1.2, 1.5, 2.0} {
+		p := dist.NewPareto(1, alpha)
+		r := sim.NewRNG(100)
+		xs := make([]float64, 50000)
+		for i := range xs {
+			xs[i] = p.Sample(r)
+		}
+		got := Hill(xs, 2000)
+		if math.Abs(got-alpha)/alpha > 0.1 {
+			t.Errorf("Hill for α=%v: got %v", alpha, got)
+		}
+	}
+}
+
+func TestHillDegenerate(t *testing.T) {
+	if got := Hill([]float64{1, 2}, 5); got != 0 {
+		t.Errorf("small-sample Hill = %v", got)
+	}
+	if got := Hill([]float64{1, 1, 1, 1, 1}, 2); got != 0 {
+		t.Errorf("constant-sample Hill = %v", got)
+	}
+}
+
+func TestHillLightTailIsLarge(t *testing.T) {
+	// Exponential data has all moments; its Hill estimate must come out
+	// well above the heavy-tail range (α < 2).
+	e := dist.NewExponential(1)
+	r := sim.NewRNG(101)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = e.Sample(r)
+	}
+	if got := Hill(xs, 500); got < 3 {
+		t.Errorf("Hill on exponential = %v, want >> 2", got)
+	}
+}
+
+func TestHillPlot(t *testing.T) {
+	p := dist.NewPareto(1, 1.4)
+	r := sim.NewRNG(102)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = p.Sample(r)
+	}
+	plot := HillPlot(xs, 100, 1000, 100)
+	if len(plot) != 10 {
+		t.Fatalf("HillPlot points = %d", len(plot))
+	}
+	for _, pt := range plot {
+		if math.Abs(pt.Alpha-1.4) > 0.4 {
+			t.Errorf("HillPlot k=%d α=%v far from 1.4", pt.K, pt.Alpha)
+		}
+	}
+}
+
+func TestLLCDLinearForPareto(t *testing.T) {
+	p := dist.NewPareto(1, 1.3)
+	r := sim.NewRNG(103)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = p.Sample(r)
+	}
+	alpha := TailSlope(xs, 0.9)
+	if math.Abs(alpha-1.3) > 0.25 {
+		t.Errorf("TailSlope = %v, want ~1.3", alpha)
+	}
+}
+
+func TestTailSlopeSteepForExponential(t *testing.T) {
+	e := dist.NewExponential(1)
+	r := sim.NewRNG(104)
+	xs := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = e.Sample(r)
+	}
+	// Exponential LLCD curves down steeply; fitted pseudo-α well above 2.
+	if alpha := TailSlope(xs, 0.9); alpha < 2.5 {
+		t.Errorf("exponential TailSlope = %v, want > 2.5", alpha)
+	}
+}
+
+func TestLLCDEmpty(t *testing.T) {
+	if pts := LLCD(nil, 100); pts != nil {
+		t.Errorf("LLCD(nil) = %v", pts)
+	}
+}
+
+func TestQQNormalFitsNormalData(t *testing.T) {
+	n := dist.NewNormal(10, 2)
+	r := sim.NewRNG(105)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = n.Sample(r)
+	}
+	dev := QQDeviation(QQNormal(xs, 100))
+	if dev > 0.05 {
+		t.Errorf("QQ deviation of normal data vs normal = %v", dev)
+	}
+}
+
+func TestQQParetoBeatsNormalOnParetoData(t *testing.T) {
+	p := dist.NewPareto(1, 1.3)
+	r := sim.NewRNG(106)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = p.Sample(r)
+	}
+	devN := QQDeviation(QQNormal(xs, 200))
+	devP := QQDeviation(QQPareto(xs, 200))
+	if devP >= devN {
+		t.Errorf("Pareto QQ deviation %v not better than Normal %v", devP, devN)
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.4} {
+		if got := normalQuantile(p) + normalQuantile(1-p); math.Abs(got) > 1e-6 {
+			t.Errorf("quantile asymmetry at p=%v: %v", p, got)
+		}
+	}
+	if got := normalQuantile(0.975); math.Abs(got-1.959964) > 1e-4 {
+		t.Errorf("z(0.975) = %v", got)
+	}
+}
+
+func TestPoissonSynthMatchesMeanRate(t *testing.T) {
+	gaps := []float64{1, 2, 3, 2, 1, 3, 2} // mean 2
+	synth := PoissonSynth(gaps, 50000, 42)
+	s := Summarize(synth)
+	if math.Abs(s.Mean-2) > 0.05 {
+		t.Errorf("synth mean gap = %v, want ~2", s.Mean)
+	}
+}
+
+func TestBinCounts(t *testing.T) {
+	gaps := []float64{0.5, 0.4, 2.0, 0.1}
+	counts := BinCounts(gaps, 1)
+	// Events at t=0.5, 0.9, 2.9, 3.0: bins 0:2, 2:1, 3:1.
+	if counts[0] != 2 || counts[2] != 1 || counts[3] != 1 {
+		t.Errorf("BinCounts = %v", counts)
+	}
+}
+
+func TestDispersionPoissonVsHeavy(t *testing.T) {
+	r := sim.NewRNG(107)
+	e := dist.NewExponential(1)
+	pareto := dist.NewBoundedPareto(0.01, 1000, 1.1)
+	var pg, hg []float64
+	for i := 0; i < 50000; i++ {
+		pg = append(pg, e.Sample(r))
+		hg = append(hg, pareto.Sample(r))
+	}
+	// At large bin widths the Poisson dispersion stays ~1; heavy-tailed
+	// arrivals stay over-dispersed (Figure 8's message).
+	dp := IndexOfDispersion(BinCounts(pg, 100))
+	dh := IndexOfDispersion(BinCounts(hg, 100))
+	if dp > 3 {
+		t.Errorf("Poisson dispersion at width 100 = %v, want ~1", dp)
+	}
+	if dh < 10*dp {
+		t.Errorf("heavy dispersion %v not >> Poisson %v", dh, dp)
+	}
+}

@@ -1,0 +1,295 @@
+// Package tracefmt defines the fixed-size trace records the trace filter
+// driver emits — the §3.2 instrument: 54 distinct IRP and FastIO event
+// kinds, each record carrying the file-object reference, header and file
+// flags, requesting process, current byte offset and file size, the result
+// status, and two 100 ns timestamps (operation start and completion).
+// Name-mapping records associate file-object ids with file names.
+package tracefmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+)
+
+// EventKind enumerates the 54 trace event kinds: the 19 IRP majors, the 8
+// specialised minors, the 12 FastIO entry points, the 5 set-information
+// classes, and 10 apparatus events (paging read/write, read-ahead, lazy
+// write, failed create, name map, agent start/stop, snapshot start/end).
+type EventKind uint8
+
+// IRP major events (19).
+const (
+	EvCreate EventKind = iota
+	EvRead
+	EvWrite
+	EvQueryInformation
+	EvSetInformation
+	EvQueryEa
+	EvSetEa
+	EvFlushBuffers
+	EvQueryVolumeInformation
+	EvSetVolumeInformation
+	EvDirectoryControl
+	EvFileSystemControl
+	EvDeviceControl
+	EvLockControl
+	EvCleanup
+	EvClose
+	EvQuerySecurity
+	EvSetSecurity
+	EvPnp
+
+	// Specialised minors (8).
+	EvQueryDirectory
+	EvNotifyChangeDirectory
+	EvUserFsRequest
+	EvMountVolume
+	EvVerifyVolume
+	EvLock
+	EvUnlockSingle
+	EvUnlockAll
+
+	// FastIO entry points (12).
+	EvFastCheckIfPossible
+	EvFastRead
+	EvFastWrite
+	EvFastQueryBasicInfo
+	EvFastQueryStandardInfo
+	EvFastLock
+	EvFastUnlockSingle
+	EvFastUnlockAll
+	EvFastDeviceControl
+	EvFastQueryNetworkOpenInfo
+	EvFastMdlRead
+	EvFastMdlWrite
+
+	// Set-information classes (5).
+	EvSetBasic
+	EvSetDisposition
+	EvSetEndOfFile
+	EvSetAllocation
+	EvSetRename
+
+	// Apparatus events (10).
+	EvPagingRead
+	EvPagingWrite
+	EvReadAhead
+	EvLazyWrite
+	EvCreateFailed
+	EvNameMap
+	EvAgentStart
+	EvAgentStop
+	EvSnapshotStart
+	EvSnapshotEnd
+
+	numEventKinds
+)
+
+// NumEventKinds is the total event vocabulary — 54, matching §3.2.
+const NumEventKinds = int(numEventKinds)
+
+var eventNames = [...]string{
+	"Create", "Read", "Write", "QueryInformation", "SetInformation",
+	"QueryEa", "SetEa", "FlushBuffers", "QueryVolumeInformation",
+	"SetVolumeInformation", "DirectoryControl", "FileSystemControl",
+	"DeviceControl", "LockControl", "Cleanup", "Close", "QuerySecurity",
+	"SetSecurity", "Pnp",
+	"QueryDirectory", "NotifyChangeDirectory", "UserFsRequest", "MountVolume",
+	"VerifyVolume", "Lock", "UnlockSingle", "UnlockAll",
+	"FastCheckIfPossible", "FastRead", "FastWrite", "FastQueryBasicInfo",
+	"FastQueryStandardInfo", "FastLock", "FastUnlockSingle", "FastUnlockAll",
+	"FastDeviceControl", "FastQueryNetworkOpenInfo", "FastMdlRead", "FastMdlWrite",
+	"SetBasic", "SetDisposition", "SetEndOfFile", "SetAllocation", "SetRename",
+	"PagingRead", "PagingWrite", "ReadAhead", "LazyWrite", "CreateFailed",
+	"NameMap", "AgentStart", "AgentStop", "SnapshotStart", "SnapshotEnd",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("Event(%d)", uint8(k))
+}
+
+// IsFastIo reports whether the event travelled the FastIO path.
+func (k EventKind) IsFastIo() bool {
+	return k >= EvFastCheckIfPossible && k <= EvFastMdlWrite
+}
+
+// IsPaging reports whether the event is VM-originated paging I/O.
+func (k EventKind) IsPaging() bool {
+	return k == EvPagingRead || k == EvPagingWrite || k == EvReadAhead || k == EvLazyWrite
+}
+
+// Annotation bits on a record.
+const (
+	AnnotFromCache   uint8 = 1 << iota // read satisfied from the file cache
+	AnnotReadAhead                     // paging read issued by read-ahead
+	AnnotLazyWrite                     // paging write issued by the lazy writer
+	AnnotRemote                        // request against the network redirector
+	AnnotFastRefused                   // FastIO attempt the driver refused
+)
+
+// NameLen is the fixed name field size; names are truncated, matching the
+// paper's short-form name storage ("we are mainly interested in the file
+// type, not in the individual names").
+const NameLen = 64
+
+// PagingObjectIDBase is the first FileObject id the trace driver assigns
+// to the cache manager's own paging file objects. Ids at or above this
+// mark identify cache-manager paging I/O — the "duplicate actions" §3.3
+// says must be filtered out during analysis — while paging records below
+// it are VM-manager image/section traffic that must be kept.
+const PagingObjectIDBase = 1 << 48
+
+// Record is one fixed-size trace record. One struct serves all 54 kinds;
+// the Name field is only meaningful for EvNameMap records.
+type Record struct {
+	Kind   EventKind
+	Major  types.MajorFunction
+	Minor  types.MinorFunction
+	Annot  uint8
+	Flags  types.IrpFlags
+	FOFl   types.FileObjectFlags
+	FileID types.FileObjectID
+	Proc   uint32
+	Status types.Status
+
+	Offset   int64
+	Length   int32
+	Returned int32
+	FileSize int64
+	BytePos  int64 // the FileObject's current byte offset at completion
+
+	Disposition types.CreateDisposition
+	Options     types.CreateOptions
+	Attributes  types.FileAttributes
+	InfoClass   types.SetInfoClass
+	FsControl   types.FsControlCode
+
+	Start sim.Time
+	End   sim.Time
+
+	Name [NameLen]byte
+}
+
+// RecordSize is the encoded size of one record in bytes.
+const RecordSize = 1 + 1 + 1 + 1 + 4 + 4 + 8 + 4 + 4 + // kind..status
+	8 + 4 + 4 + 8 + 8 + // offset..bytepos
+	1 + 4 + 4 + 1 + 2 + // disposition..fsctl
+	8 + 8 + // timestamps
+	NameLen + 1 // name + pad to even
+
+// SetName stores a (truncated) name into the record.
+func (r *Record) SetName(name string) {
+	n := copy(r.Name[:], name)
+	for i := n; i < NameLen; i++ {
+		r.Name[i] = 0
+	}
+}
+
+// NameString returns the stored name.
+func (r *Record) NameString() string {
+	for i, b := range r.Name {
+		if b == 0 {
+			return string(r.Name[:i])
+		}
+	}
+	return string(r.Name[:])
+}
+
+// Latency is the service duration (End - Start).
+func (r *Record) Latency() sim.Duration { return r.End.Sub(r.Start) }
+
+// Encode appends the record's fixed-size binary form to buf.
+func (r *Record) Encode(buf []byte) []byte {
+	var tmp [RecordSize]byte
+	b := tmp[:0]
+	b = append(b, byte(r.Kind), byte(r.Major), byte(r.Minor), r.Annot)
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Flags))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.FOFl))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.FileID))
+	b = binary.LittleEndian.AppendUint32(b, r.Proc)
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Status))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Offset))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Length))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Returned))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.FileSize))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.BytePos))
+	b = append(b, byte(r.Disposition))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Options))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Attributes))
+	b = append(b, byte(r.InfoClass))
+	b = binary.LittleEndian.AppendUint16(b, uint16(r.FsControl))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Start))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.End))
+	b = append(b, r.Name[:]...)
+	b = append(b, 0) // pad
+	return append(buf, b...)
+}
+
+// Decode parses one record from b, which must hold at least RecordSize
+// bytes; it returns the remainder.
+func (r *Record) Decode(b []byte) ([]byte, error) {
+	if len(b) < RecordSize {
+		return b, fmt.Errorf("tracefmt: short record: %d < %d bytes", len(b), RecordSize)
+	}
+	r.Kind = EventKind(b[0])
+	r.Major = types.MajorFunction(b[1])
+	r.Minor = types.MinorFunction(b[2])
+	r.Annot = b[3]
+	le := binary.LittleEndian
+	r.Flags = types.IrpFlags(le.Uint32(b[4:]))
+	r.FOFl = types.FileObjectFlags(le.Uint32(b[8:]))
+	r.FileID = types.FileObjectID(le.Uint64(b[12:]))
+	r.Proc = le.Uint32(b[20:])
+	r.Status = types.Status(le.Uint32(b[24:]))
+	r.Offset = int64(le.Uint64(b[28:]))
+	r.Length = int32(le.Uint32(b[36:]))
+	r.Returned = int32(le.Uint32(b[40:]))
+	r.FileSize = int64(le.Uint64(b[44:]))
+	r.BytePos = int64(le.Uint64(b[52:]))
+	r.Disposition = types.CreateDisposition(b[60])
+	r.Options = types.CreateOptions(le.Uint32(b[61:]))
+	r.Attributes = types.FileAttributes(le.Uint32(b[65:]))
+	r.InfoClass = types.SetInfoClass(b[69])
+	r.FsControl = types.FsControlCode(le.Uint16(b[70:]))
+	r.Start = sim.Time(le.Uint64(b[72:]))
+	r.End = sim.Time(le.Uint64(b[80:]))
+	copy(r.Name[:], b[88:88+NameLen])
+	return b[RecordSize:], nil
+}
+
+// WriteAll encodes records to w.
+func WriteAll(w io.Writer, recs []Record) error {
+	buf := make([]byte, 0, RecordSize*len(recs))
+	for i := range recs {
+		buf = recs[i].Encode(buf)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadAll decodes all records from r until EOF.
+func ReadAll(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data)%RecordSize != 0 {
+		return nil, fmt.Errorf("tracefmt: stream length %d not a record multiple", len(data))
+	}
+	recs := make([]Record, len(data)/RecordSize)
+	rest := data
+	for i := range recs {
+		rest, err = recs[i].Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}

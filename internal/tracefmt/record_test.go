@@ -1,0 +1,170 @@
+package tracefmt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+)
+
+func TestFiftyFourEventKinds(t *testing.T) {
+	// §3.2: "The trace driver records 54 IRP and FastIO events".
+	if NumEventKinds != 54 {
+		t.Fatalf("NumEventKinds = %d, want 54", NumEventKinds)
+	}
+	if len(eventNames) != NumEventKinds {
+		t.Fatalf("eventNames has %d entries", len(eventNames))
+	}
+	seen := map[string]bool{}
+	for k := 0; k < NumEventKinds; k++ {
+		name := EventKind(k).String()
+		if seen[name] {
+			t.Errorf("duplicate event name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !EvFastRead.IsFastIo() || EvRead.IsFastIo() || EvNameMap.IsFastIo() {
+		t.Error("IsFastIo wrong")
+	}
+	for _, k := range []EventKind{EvPagingRead, EvPagingWrite, EvReadAhead, EvLazyWrite} {
+		if !k.IsPaging() {
+			t.Errorf("%v.IsPaging() = false", k)
+		}
+	}
+	if EvRead.IsPaging() {
+		t.Error("EvRead.IsPaging() = true")
+	}
+}
+
+func sampleRecord() Record {
+	r := Record{
+		Kind:        EvRead,
+		Major:       types.IrpMjRead,
+		Minor:       types.IrpMnNormal,
+		Annot:       AnnotFromCache | AnnotRemote,
+		Flags:       types.IrpSynchronous,
+		FOFl:        types.FOCacheInitialized | types.FOSequentialOnly,
+		FileID:      987654321,
+		Proc:        4242,
+		Status:      types.StatusSuccess,
+		Offset:      1 << 33,
+		Length:      65536,
+		Returned:    4096,
+		FileSize:    1 << 34,
+		BytePos:     12345,
+		Disposition: types.DispositionOverwriteIf,
+		Options:     types.OptSequentialOnly,
+		Attributes:  types.AttrTemporary,
+		InfoClass:   types.SetInfoEndOfFile,
+		FsControl:   types.FsctlIsVolumeMounted,
+		Start:       sim.Time(1000000),
+		End:         sim.Time(1000550),
+	}
+	r.SetName(`C:\winnt\profiles\user\cache.dat`)
+	return r
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := sampleRecord()
+	buf := orig.Encode(nil)
+	if len(buf) != RecordSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), RecordSize)
+	}
+	var got Record
+	rest, err := got.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("leftover bytes: %d", len(rest))
+	}
+	if got != orig {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	var r Record
+	if _, err := r.Decode(make([]byte, 10)); err == nil {
+		t.Error("short decode did not error")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	r := sampleRecord()
+	if r.Latency() != 550 {
+		t.Errorf("Latency = %v", r.Latency())
+	}
+}
+
+func TestNameTruncation(t *testing.T) {
+	var r Record
+	long := string(bytes.Repeat([]byte("x"), 200))
+	r.SetName(long)
+	if got := r.NameString(); len(got) != NameLen {
+		t.Errorf("truncated name length = %d, want %d", len(got), NameLen)
+	}
+	r.SetName("short")
+	if r.NameString() != "short" {
+		t.Errorf("NameString = %q", r.NameString())
+	}
+}
+
+func TestWriteReadAll(t *testing.T) {
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = sampleRecord()
+		recs[i].FileID = types.FileObjectID(i)
+		recs[i].Start = sim.Time(i * 100)
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadAllRejectsTruncated(t *testing.T) {
+	r := sampleRecord()
+	buf := r.Encode(nil)
+	if _, err := ReadAll(bytes.NewReader(buf[:len(buf)-3])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(fid uint64, proc uint32, off int64, ln int32, start, end uint32) bool {
+		orig := Record{
+			Kind:   EvWrite,
+			FileID: types.FileObjectID(fid),
+			Proc:   proc,
+			Offset: off,
+			Length: ln,
+			Start:  sim.Time(start),
+			End:    sim.Time(end),
+		}
+		orig.SetName("f")
+		var got Record
+		_, err := got.Decode(orig.Encode(nil))
+		return err == nil && got == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

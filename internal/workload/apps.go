@@ -1,0 +1,1165 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/fsgen"
+	"repro/internal/ntos/iomgr"
+	"repro/internal/ntos/types"
+	"repro/internal/ntos/vmmgr"
+	"repro/internal/sim"
+)
+
+// pick returns a random element of xs ("" when empty).
+func pick(rng *sim.RNG, xs []string) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	return xs[rng.Intn(len(xs))]
+}
+
+// zipfPick returns a popularity-skewed element (rank-1 most popular).
+func zipfPick(z *dist.Zipf, rng *sim.RNG, xs []string) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	r := z.Rank(rng) - 1
+	if r >= len(xs) {
+		r = len(xs) - 1
+	}
+	return xs[r]
+}
+
+// readSizes is the §8.2 request-size mix: "in 59% of the read cases the
+// request size is either 512 or 4096 bytes", with strong preferences for
+// very small (2–8 bytes) and very large (48 KB+) reads among the rest.
+var readSizes = dist.NewChoice(
+	[]float64{512, 4096, 2, 4, 8, 1024, 2048, 8192, 16384, 49152, 65536, 131072},
+	[]float64{24, 35, 4, 4, 4, 4, 4, 6, 5, 4, 4, 2},
+)
+
+// writeSizes is more diverse in the sub-1024-byte range ("probably
+// reflecting the writing of single data-structures", §8.2).
+var writeSizes = dist.NewChoice(
+	[]float64{16, 64, 128, 256, 512, 1024, 4096, 8192, 32768, 65536},
+	[]float64{8, 10, 10, 10, 12, 12, 18, 10, 6, 4},
+)
+
+// Notepad performs the §1 save sequence: "saving this to a file will
+// trigger 26 system calls, including 3 failed open attempts, 1 file
+// overwrite and 4 additional file open and close sequences".
+type Notepad struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	gap *dist.OnOff
+}
+
+// NewNotepad builds the editor model.
+func NewNotepad(p *Proc, lay *fsgen.Layout) *Notepad {
+	return &Notepad{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(30, 1800, 1.4),  // editing sessions: 30 s – 30 min
+		dist.NewBoundedPareto(60, 14400, 1.2), // between documents
+		dist.NewBoundedPareto(5, 300, 1.3),    // between saves
+	)}
+}
+
+// AppName implements App.
+func (n *Notepad) AppName() string { return "notepad" }
+
+// Burst implements App: one document save.
+func (n *Notepad) Burst() sim.Duration {
+	p := n.P
+	doc := pick(p.rng, n.Lay.Documents)
+	if doc == "" {
+		return sim.Minute
+	}
+	// 3 failed open attempts (association/alternate-name probes).
+	p.ProbeExists(doc + ".sav")
+	p.ProbeExists(doc + ".~tmp")
+	p.Open(`\nosuch\`+fmt.Sprintf("assoc%d.ini", p.rng.Intn(100)),
+		types.AccessRead, types.DispositionOpen, 0, 0)
+
+	// Office-style lock file: created with FILE_CREATE, so a stale lock
+	// from an earlier save fails with a name collision (the §8.4 "creation
+	// of a file was requested, but it already did exist" population).
+	lock := doc + ".lck"
+	if lh, st := p.Open(lock, types.AccessWrite, types.DispositionCreate, 0, 0); !st.IsError() {
+		p.Write(lh, 64)
+		p.Close(lh)
+	}
+
+	// Read the current content.
+	if h, st := p.Open(doc, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+		p.ReadWhole(h, 4096)
+		p.Close(h)
+	}
+	size, _ := p.StatFile(doc)
+	if size <= 0 {
+		size = 2000
+	}
+
+	// Write the new content to a temp file.
+	tmp := n.Lay.TempDir + fmt.Sprintf(`\np%04x.tmp`, p.rng.Intn(1<<16))
+	if h, st := p.Open(tmp, types.AccessWrite, types.DispositionCreate, 0, 0); !st.IsError() {
+		p.WriteChunked(h, size+int64(p.rng.Intn(512)), writeSizes)
+		p.Close(h)
+	}
+	// Overwrite the original (the "1 file overwrite").
+	if h, st := p.Open(doc, types.AccessWrite, types.DispositionOverwriteIf, 0, 0); !st.IsError() {
+		p.WriteChunked(h, size+int64(p.rng.Intn(512)), writeSizes)
+		p.Close(h)
+	}
+	// Delete the temp file; release the lock most of the time (stale
+	// locks feed the next save's collision).
+	p.DeleteFile(tmp)
+	if p.rng.Bool(0.7) {
+		p.DeleteFile(doc + ".lck")
+	}
+
+	// 4 additional open/close sequences (attribute/metadata touches).
+	for i := 0; i < 4; i++ {
+		p.StatFile(doc)
+	}
+	return n.gap.NextDuration(p.rng)
+}
+
+// Explorer is the GUI shell: its file-system interaction is determined by
+// the structure and content of the file system, not user requests (§7).
+// It is the machine's main source of control and directory operations —
+// the traffic behind "74% of the file opens are to perform a control or
+// directory operation" and the up-to-40/second "is volume mounted" FSCTLs.
+type Explorer struct {
+	P    *Proc
+	Lay  *fsgen.Layout
+	Dirs []string
+	gap  *dist.OnOff
+	pop  *dist.Zipf
+}
+
+// NewExplorer builds the shell model.
+func NewExplorer(p *Proc, lay *fsgen.Layout) *Explorer {
+	dirs := []string{lay.Profile, lay.DocsDir, lay.SystemDir, lay.TempDir, `\`}
+	if lay.DevDir != "" {
+		dirs = append(dirs, lay.DevDir)
+	}
+	return &Explorer{P: p, Lay: lay, Dirs: dirs,
+		gap: dist.NewOnOff(
+			dist.NewBoundedPareto(2, 120, 1.3),   // browsing bursts
+			dist.NewBoundedPareto(20, 7200, 1.1), // between bursts
+			dist.NewBoundedPareto(0.2, 10, 1.3),  // between navigations
+		),
+		pop: dist.NewZipf(150, 0.95),
+	}
+}
+
+// AppName implements App.
+func (e *Explorer) AppName() string { return "explorer" }
+
+// Burst implements App: one navigation — name validation, directory
+// enumeration, per-item attribute probes.
+func (e *Explorer) Burst() sim.Duration {
+	p := e.P
+	dir := pick(p.rng, e.Dirs)
+
+	// Win32 name validation issues "is volume mounted" FSCTLs.
+	if vh, st := p.Open(`\`, types.AccessAttributes, types.DispositionOpen,
+		types.OptDirectoryFile, 0); !st.IsError() {
+		n := 1 + p.rng.Intn(4)
+		for i := 0; i < n; i++ {
+			p.M.IO.FsControl(p.PID, vh, types.FsctlIsVolumeMounted)
+			p.M.Sched.Advance(sim.FromMicroseconds(200))
+		}
+		p.Close(vh)
+	}
+
+	// Enumerate the directory.
+	h, st := p.Open(dir, types.AccessRead, types.DispositionOpen, types.OptDirectoryFile, 0)
+	if st.IsError() {
+		return e.gap.NextDuration(p.rng)
+	}
+	entries, _ := p.M.IO.QueryDirectory(p.PID, h)
+	p.Close(h)
+
+	// Probe attributes (and icons) of a handful of entries: attribute-only
+	// opens over layout files near this directory.
+	probes := 8 + p.rng.Intn(11)
+	if entries < int64(probes) && entries > 0 {
+		probes = int(entries)
+	}
+	for i := 0; i < probes; i++ {
+		var f string
+		switch p.rng.Intn(3) {
+		case 0:
+			f = zipfPick(e.pop, p.rng, e.Lay.Documents)
+		case 1:
+			f = zipfPick(e.pop, p.rng, e.Lay.Executables)
+		default:
+			f = zipfPick(e.pop, p.rng, e.Lay.Libraries)
+		}
+		if f != "" {
+			p.StatFile(f)
+			// Icon/type extraction: the shell reads the header of
+			// executables and the first block of documents — a large
+			// population of short read-only sessions.
+			if p.rng.Bool(0.55) {
+				if h, st := p.Open(f, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+					if size, _ := p.M.IO.QueryInformation(p.PID, h); size <= 16384 {
+						// Small files are slurped whole (type sniffing).
+						p.ReadWhole(h, 4096)
+					} else {
+						p.Read(h, 2+p.rng.Intn(2)*2046) // magic probe or ~2 KB header
+						if p.rng.Bool(0.5) {
+							p.Read(h, 4096)
+						}
+					}
+					p.Close(h)
+				}
+			}
+		}
+		p.M.Sched.Advance(sim.FromMicroseconds(300))
+	}
+	// Desktop.ini probe: a classic failed open.
+	p.Open(dir+`\desktop.ini`, types.AccessRead, types.DispositionOpen, 0, 0)
+	return e.gap.NextDuration(p.rng)
+}
+
+// WebBrowser models the §5 WWW cache churn: most of a profile's daily
+// file changes (up to 90–93%) are cache fills, with existence probes,
+// small sequential writes of new entries and occasional evictions.
+type WebBrowser struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	gap *dist.OnOff
+	seq int
+}
+
+// NewWebBrowser builds the browser model.
+func NewWebBrowser(p *Proc, lay *fsgen.Layout) *WebBrowser {
+	return &WebBrowser{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(10, 1200, 1.2),  // browsing sessions
+		dist.NewBoundedPareto(30, 10800, 1.1), // away
+		dist.NewBoundedPareto(0.5, 60, 1.4),   // between pages
+	)}
+}
+
+// AppName implements App.
+func (w *WebBrowser) AppName() string { return "iexplore" }
+
+// Burst implements App: one page load.
+func (w *WebBrowser) Burst() sim.Duration {
+	p := w.P
+	// Cache lookups: some hit (read), some miss (probe fails, then fill).
+	objects := 2 + p.rng.Intn(7)
+	for i := 0; i < objects; i++ {
+		if len(w.Lay.WebFiles) > 0 && p.rng.Bool(0.84) {
+			// Hit: read an existing cache entry.
+			f := pick(p.rng, w.Lay.WebFiles)
+			if h, st := p.Open(f, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+				p.ReadWhole(h, 4096)
+				p.Close(h)
+			}
+			continue
+		}
+		// Miss: probe fails, then a new entry is written.
+		w.seq++
+		name := w.Lay.WebCache + fmt.Sprintf(`\cache%d\dl%06x.htm`, w.seq%4, w.seq)
+		p.ProbeExists(name)
+		h, st := p.Open(name, types.AccessWrite, types.DispositionCreate, 0, 0)
+		if st.IsError() {
+			continue
+		}
+		size := int64(dist.NewLognormal(8, 1.4).Sample(p.rng))
+		if size < 64 {
+			size = 64
+		}
+		p.WriteChunked(h, size, writeSizes)
+		p.Close(h)
+		w.Lay.WebFiles = append(w.Lay.WebFiles, name)
+		// Cache eviction keeps the cache bounded: delete an old entry.
+		if len(w.Lay.WebFiles) > 4000 {
+			victim := w.Lay.WebFiles[p.rng.Intn(len(w.Lay.WebFiles)/4)]
+			p.DeleteFile(victim)
+		}
+	}
+	// History/index update: hash-bucket lookups with in-place rewrites —
+	// the random read/write pattern behind the paper's RW class (74% of
+	// RW accesses are random).
+	hist := w.Lay.Profile + `\history.dat`
+	if h, st := p.Open(hist, types.AccessRead|types.AccessWrite,
+		types.DispositionOpenIf, 0, 0); !st.IsError() {
+		size, _ := p.M.IO.QueryInformation(p.PID, h)
+		if size < 65536 {
+			p.WriteAt(h, size, 65536)
+			size = 65536
+		}
+		for i := 0; i < 2+p.rng.Intn(4); i++ {
+			bucket := int64(p.rng.Intn(int(size/4096))) * 4096
+			p.ReadAt(h, bucket, 4096)
+			if p.rng.Bool(0.7) {
+				p.WriteAt(h, bucket, 512)
+			}
+		}
+		p.Close(h)
+	}
+	return w.gap.NextDuration(p.rng)
+}
+
+// Winlogon synchronises the user profile at logon/logoff — the process
+// whose lifetime "is determined by the number and size of files in the
+// user's profile" (§7), and the source of profile-tree dominance in the
+// §5 daily change counts.
+type Winlogon struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	seq int
+}
+
+// NewWinlogon builds the logon model.
+func NewWinlogon(p *Proc, lay *fsgen.Layout) *Winlogon {
+	return &Winlogon{P: p, Lay: lay}
+}
+
+// Logon downloads profile changes from the central server: a burst of
+// small file creates/overwrites in the profile tree.
+func (w *Winlogon) Logon() {
+	p := w.P
+	n := 12 + p.rng.Intn(70)
+	for i := 0; i < n; i++ {
+		w.seq++
+		var name string
+		if p.rng.Bool(0.3) && len(w.Lay.Documents) > 0 {
+			name = pick(p.rng, w.Lay.Documents) // refresh an existing file
+		} else {
+			name = w.Lay.Profile + fmt.Sprintf(`\Application Data\sync%05d.dat`, w.seq)
+		}
+		h, st := p.Open(name, types.AccessWrite, types.DispositionOverwriteIf, 0, 0)
+		if st.IsError() {
+			continue
+		}
+		size := int64(dist.NewLognormal(7.5, 1.5).Sample(p.rng))
+		if size < 32 {
+			size = 32
+		}
+		p.WriteChunked(h, size, writeSizes)
+		p.Close(h)
+		p.M.Sched.Advance(sim.FromMicroseconds(500 + float64(p.rng.Intn(3000))))
+	}
+}
+
+// Logoff migrates profile changes back: reads over the changed files.
+func (w *Winlogon) Logoff() {
+	p := w.P
+	n := 10 + p.rng.Intn(60)
+	for i := 0; i < n; i++ {
+		f := pick(p.rng, w.Lay.WebFiles)
+		if p.rng.Bool(0.4) {
+			f = pick(p.rng, w.Lay.Documents)
+		}
+		if f == "" {
+			continue
+		}
+		if h, st := p.Open(f, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+			p.ReadWhole(h, 16384)
+			p.Close(h)
+		}
+	}
+}
+
+// DevBuild models the development workload: compile sources to objects,
+// then rewrite the 5–8 MB precompiled-header / incremental-link files
+// that produced the paper's peak throughput (§6.1: "The peak load
+// reported for Windows NT was for a development station, where in a short
+// period a series of medium size files (5-8 Mb) ... was read and
+// written").
+type DevBuild struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	VM  *vmmgr.Manager
+	gap *dist.OnOff
+}
+
+// NewDevBuild builds the compiler model.
+func NewDevBuild(p *Proc, lay *fsgen.Layout) *DevBuild {
+	return &DevBuild{P: p, Lay: lay, VM: p.M.VM, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(60, 1800, 1.3),    // build-heavy stretches
+		dist.NewBoundedPareto(600, 28800, 1.15), // long quiet spells
+		dist.NewBoundedPareto(90, 3600, 1.25),   // between builds
+	)}
+}
+
+// AppName implements App.
+func (d *DevBuild) AppName() string { return "cl" }
+
+// Burst implements App: one incremental build.
+func (d *DevBuild) Burst() sim.Duration {
+	p := d.P
+	if len(d.Lay.DevSources) == 0 {
+		return sim.Hour
+	}
+	// Load the compiler (image + DLLs through the VM manager).
+	if exe := pick(p.rng, d.Lay.Executables); exe != "" {
+		d.VM.LoadImage(p.PID, p.path(exe))
+	}
+	for i := 0; i < 2+p.rng.Intn(4); i++ {
+		if dll := pick(p.rng, d.Lay.Libraries); dll != "" {
+			d.VM.LoadImage(p.PID, p.path(dll))
+		}
+	}
+	// Compile a handful of translation units.
+	units := 1 + p.rng.Intn(8)
+	for u := 0; u < units; u++ {
+		src := pick(p.rng, d.Lay.DevSources)
+		// Include probing: a couple of failed opens along the include path.
+		p.Open(src+`.inc`, types.AccessRead, types.DispositionOpen, 0, 0)
+		if h, st := p.Open(src, types.AccessRead, types.DispositionOpen,
+			types.OptSequentialOnly, 0); !st.IsError() {
+			p.ReadWhole(h, 4096)
+			p.Close(h)
+		}
+		// A few headers.
+		for i := 0; i < 2+p.rng.Intn(6); i++ {
+			hdr := pick(p.rng, d.Lay.DevSources)
+			if h, st := p.Open(hdr, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+				p.ReadWhole(h, 4096)
+				p.Close(h)
+			}
+		}
+		// Write the object file: a FILE_CREATE attempt first (collides
+		// with the previous build's output), then the overwrite.
+		obj := pick(p.rng, d.Lay.DevObjects)
+		if obj == "" {
+			continue
+		}
+		p.Open(obj, types.AccessWrite, types.DispositionCreate, 0, 0)
+		if h, st := p.Open(obj, types.AccessWrite, types.DispositionOverwriteIf, 0, 0); !st.IsError() {
+			p.WriteStream(h, int64(8000+p.rng.Intn(120000)), 4096)
+			p.Close(h)
+		}
+	}
+	// The peak-load tail: read+write the 5–8 MB pch/ilk state.
+	pch := d.Lay.DevDir + `\project.pch`
+	ilk := d.Lay.DevDir + `\project.ilk`
+	size := int64(5<<20) + p.rng.Int63n(3<<20)
+	for _, f := range []string{pch, ilk} {
+		if h, st := p.Open(f, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+			p.ReadWhole(h, 65536)
+			p.Close(h)
+		}
+		if h, st := p.Open(f, types.AccessWrite, types.DispositionOverwriteIf, 0, 0); !st.IsError() {
+			p.WriteStream(h, size, 8192)
+			p.Close(h)
+		}
+	}
+	return d.gap.NextDuration(p.rng)
+}
+
+// MailClient polls and reads mailboxes; the non-Microsoft variant writes
+// "a single 4 Mbyte buffer ... to its files" (§10).
+type MailClient struct {
+	P      *Proc
+	Lay    *fsgen.Layout
+	BigBuf bool // the 4 MB-single-buffer mailer
+	gap    *dist.OnOff
+}
+
+// NewMailClient builds the mail model.
+func NewMailClient(p *Proc, lay *fsgen.Layout, bigBuf bool) *MailClient {
+	return &MailClient{P: p, Lay: lay, BigBuf: bigBuf, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(30, 1800, 1.3),
+		dist.NewBoundedPareto(60, 7200, 1.2),
+		dist.NewBoundedPareto(2, 300, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (mc *MailClient) AppName() string {
+	if mc.BigBuf {
+		return "bigmail"
+	}
+	return "mailclient"
+}
+
+// Burst implements App: one poll or message handling step.
+func (mc *MailClient) Burst() sim.Duration {
+	p := mc.P
+	mbx := pick(p.rng, mc.Lay.MailFiles)
+	if mbx == "" {
+		return sim.Hour
+	}
+	// Poll: check the mailbox attributes.
+	size, st := p.StatFile(mbx)
+	if st.IsError() {
+		return mc.gap.NextDuration(p.rng)
+	}
+	switch p.rng.Intn(3) {
+	case 0:
+		// Read recent messages: random access near the tail.
+		if h, st := p.Open(mbx, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+			for i := 0; i < 4+p.rng.Intn(9); i++ {
+				off := size - int64(p.rng.Intn(1500000))
+				if off < 0 {
+					off = 0
+				}
+				p.ReadAt(h, off, int(readSizes.Sample(p.rng)))
+				p.think(p.readGap)
+			}
+			p.Close(h)
+		}
+	case 1:
+		// Append a message.
+		if h, st := p.Open(mbx, types.AccessRead|types.AccessWrite,
+			types.DispositionOpenIf, 0, 0); !st.IsError() {
+			if mc.BigBuf && p.rng.Bool(0.4) {
+				p.WriteAt(h, size, 4<<20) // the single 4 MB buffer
+			} else {
+				p.WriteChunked(h, int64(2000+p.rng.Intn(30000)), writeSizes)
+			}
+			p.Close(h)
+		}
+	default:
+		// Compact: read-modify-write through a temp file, then overwrite.
+		tmp := mc.Lay.TempDir + fmt.Sprintf(`\mail%04x.tmp`, p.rng.Intn(1<<16))
+		if h, st := p.Open(mbx, types.AccessRead, types.DispositionOpen,
+			types.OptSequentialOnly, 0); !st.IsError() {
+			p.ReadWhole(h, 65536)
+			p.Close(h)
+		}
+		if h, st := p.Open(tmp, types.AccessWrite, types.DispositionCreate, 0, 0); !st.IsError() {
+			p.WriteStream(h, size/2+1, 8192)
+			p.Close(h)
+		}
+		p.DeleteFile(tmp)
+	}
+	return mc.gap.NextDuration(p.rng)
+}
+
+// JavaTool models "some of the Microsoft Java Tools read files in 2 and 4
+// byte sequences, often resulting in thousands of reads for a single
+// class file" (§10).
+type JavaTool struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	gap *dist.OnOff
+}
+
+// NewJavaTool builds the model.
+func NewJavaTool(p *Proc, lay *fsgen.Layout) *JavaTool {
+	return &JavaTool{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(20, 600, 1.3),
+		dist.NewBoundedPareto(300, 28800, 1.2),
+		dist.NewBoundedPareto(1, 60, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (j *JavaTool) AppName() string { return "jvc" }
+
+// Burst implements App: parse one class file in 2–4 byte reads.
+func (j *JavaTool) Burst() sim.Duration {
+	p := j.P
+	f := pick(p.rng, j.Lay.DevObjects)
+	if f == "" {
+		f = pick(p.rng, j.Lay.Documents)
+	}
+	if f == "" {
+		return sim.Hour
+	}
+	h, st := p.Open(f, types.AccessRead, types.DispositionOpen, 0, 0)
+	if st.IsError() {
+		return j.gap.NextDuration(p.rng)
+	}
+	// Cap the number of tiny reads per burst to bound burst length.
+	reads := 500 + p.rng.Intn(2500)
+	for i := 0; i < reads; i++ {
+		n, st := p.Read(h, 2+2*p.rng.Intn(2))
+		if st.IsError() || n == 0 {
+			break
+		}
+	}
+	p.Close(h)
+	return j.gap.NextDuration(p.rng)
+}
+
+// FrontPage "never keeps files open for longer then a few milliseconds"
+// (§8.1): tight open→transfer→close cycles over web documents.
+type FrontPage struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	gap *dist.OnOff
+}
+
+// NewFrontPage builds the model.
+func NewFrontPage(p *Proc, lay *fsgen.Layout) *FrontPage {
+	return &FrontPage{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(10, 900, 1.3),
+		dist.NewBoundedPareto(120, 14400, 1.2),
+		dist.NewBoundedPareto(0.2, 30, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (f *FrontPage) AppName() string { return "frontpage" }
+
+// Burst implements App.
+func (f *FrontPage) Burst() sim.Duration {
+	p := f.P
+	doc := pick(p.rng, f.Lay.Documents)
+	if doc == "" {
+		return sim.Hour
+	}
+	if h, st := p.Open(doc, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+		p.ReadWhole(h, 8192)
+		p.Close(h)
+	}
+	if p.rng.Bool(0.4) {
+		if h, st := p.Open(doc, types.AccessWrite, types.DispositionOverwriteIf, 0, 0); !st.IsError() {
+			p.WriteStream(h, int64(1000+p.rng.Intn(20000)), 8192)
+			p.Close(h)
+		}
+	}
+	return f.gap.NextDuration(p.rng)
+}
+
+// LoadWC "manages a user's web subscription content" and keeps "a large
+// number of files open for the duration of the complete user session,
+// which may be days or weeks" (§8.1).
+type LoadWC struct {
+	P    *Proc
+	Lay  *fsgen.Layout
+	open []iomgr.Handle
+	gap  *dist.OnOff
+}
+
+// NewLoadWC builds the model.
+func NewLoadWC(p *Proc, lay *fsgen.Layout) *LoadWC {
+	return &LoadWC{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(10, 300, 1.3),
+		dist.NewBoundedPareto(600, 43200, 1.2),
+		dist.NewBoundedPareto(5, 120, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (l *LoadWC) AppName() string { return "loadwc" }
+
+// Burst implements App: hold a working set of subscription files open
+// indefinitely, occasionally touching them.
+func (l *LoadWC) Burst() sim.Duration {
+	p := l.P
+	if len(l.open) < 12 {
+		f := pick(p.rng, l.Lay.WebFiles)
+		if f != "" {
+			if h, st := p.Open(f, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+				l.open = append(l.open, h)
+			}
+		}
+	}
+	// Touch a held file; occasionally rotate one out after its long hold
+	// (subscription content refreshed).
+	if len(l.open) > 0 {
+		h := l.open[p.rng.Intn(len(l.open))]
+		p.ReadAt(h, 0, 4096)
+		if p.rng.Bool(0.05) {
+			i := p.rng.Intn(len(l.open))
+			p.Close(l.open[i])
+			l.open = append(l.open[:i], l.open[i+1:]...)
+		}
+	}
+	return l.gap.NextDuration(p.rng)
+}
+
+// CloseAll releases held handles (study teardown).
+func (l *LoadWC) CloseAll() {
+	for _, h := range l.open {
+		l.P.Close(h)
+	}
+	l.open = nil
+}
+
+// DBService models the database/service engines of §9: caching disabled
+// at open time (the 0.2% of files, "76% of those files were data files
+// from opened by the 'system' process"), read-write access with
+// write-through, files held open for most of the process lifetime.
+type DBService struct {
+	P      *Proc
+	Lay    *fsgen.Layout
+	db     iomgr.Handle
+	ok     bool
+	bursts int
+	gap    *dist.OnOff
+}
+
+// NewDBService builds the model.
+func NewDBService(p *Proc, lay *fsgen.Layout) *DBService {
+	return &DBService{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(5, 600, 1.2),
+		dist.NewBoundedPareto(20, 3600, 1.15),
+		dist.NewBoundedPareto(0.2, 30, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (d *DBService) AppName() string { return "system" }
+
+// Burst implements App: transactions against the always-open store.
+func (d *DBService) Burst() sim.Duration {
+	p := d.P
+	if !d.ok {
+		path := d.Lay.Profile + `\Application Data\store.db`
+		h, st := p.Open(path, types.AccessRead|types.AccessWrite, types.DispositionOpenIf,
+			types.OptNoIntermediateBuffer|types.OptWriteThrough, 0)
+		if st.IsError() {
+			return sim.Minute
+		}
+		d.db = h
+		d.ok = true
+		// Initialise the store.
+		p.WriteAt(d.db, 0, 262144)
+	}
+	// Recycle the store handle every so often: checkpoint-style close and
+	// reopen gives the session-lifetime distribution its minutes-long
+	// mid-range (§8.1: databases keep files open for 40–50% of their
+	// lifetime, not necessarily all of it).
+	d.bursts++
+	if d.bursts%120 == 0 {
+		p.Close(d.db)
+		d.ok = false
+		return d.gap.NextDuration(p.rng)
+	}
+	// A transaction: byte-range lock, aligned random reads and writes,
+	// unlock — also the file-locking traffic of the paper's §12 list.
+	for i := 0; i < 1+p.rng.Intn(5); i++ {
+		off := int64(p.rng.Intn(64)) * 4096
+		locked := p.rng.Bool(0.6)
+		if locked {
+			p.M.IO.LockFile(p.PID, d.db, off, 4096)
+		}
+		p.ReadAt(d.db, off, 4096)
+		if p.rng.Bool(0.5) {
+			p.WriteAt(d.db, off, 4096)
+		}
+		if locked {
+			p.M.IO.UnlockFile(p.PID, d.db, off, 4096)
+		}
+		p.think(p.writeGap)
+	}
+	return d.gap.NextDuration(p.rng)
+}
+
+// FlushyApp is the §9.2 anti-pattern: write caching enabled but "the
+// dominant strategy used by 87% of those applications was to flush after
+// each write operation".
+type FlushyApp struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	gap *dist.OnOff
+}
+
+// NewFlushyApp builds the model.
+func NewFlushyApp(p *Proc, lay *fsgen.Layout) *FlushyApp {
+	return &FlushyApp{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(10, 600, 1.3),
+		dist.NewBoundedPareto(300, 21600, 1.2),
+		dist.NewBoundedPareto(1, 120, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (f *FlushyApp) AppName() string { return "logwriter" }
+
+// Burst implements App: append a log entry and flush it.
+func (f *FlushyApp) Burst() sim.Duration {
+	p := f.P
+	path := f.Lay.TempDir + `\applog.txt`
+	h, st := p.Open(path, types.AccessWrite, types.DispositionOpenIf, 0, 0)
+	if st.IsError() {
+		return f.gap.NextDuration(p.rng)
+	}
+	for i := 0; i < 1+p.rng.Intn(4); i++ {
+		size, _ := p.M.IO.QueryInformation(p.PID, h)
+		p.WriteAt(h, size, 100+p.rng.Intn(800))
+		p.M.IO.FlushFileBuffers(p.PID, h) // flush after every write
+		p.think(p.writeGap)
+	}
+	p.Close(h)
+	return f.gap.NextDuration(p.rng)
+}
+
+// SciApp models the scientific usage: 100–300 MB inputs read in small
+// portions "in many cases ... through the use of memory-mapped files"
+// (§6.1).
+type SciApp struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	gap *dist.OnOff
+}
+
+// NewSciApp builds the model.
+func NewSciApp(p *Proc, lay *fsgen.Layout) *SciApp {
+	return &SciApp{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(60, 7200, 1.3),
+		dist.NewBoundedPareto(300, 28800, 1.2),
+		dist.NewBoundedPareto(5, 600, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (s *SciApp) AppName() string { return "simproc" }
+
+// Burst implements App: one analysis pass over a window of a dataset.
+func (s *SciApp) Burst() sim.Duration {
+	p := s.P
+	data := pick(p.rng, s.Lay.DataFiles)
+	if data == "" {
+		return sim.Hour
+	}
+	h, st := p.Open(data, types.AccessRead, types.DispositionOpen, 0, 0)
+	if st.IsError() {
+		return s.gap.NextDuration(p.rng)
+	}
+	if p.rng.Bool(0.4) {
+		// Direct random windows through ReadFile — large-file random
+		// access contributes the random-bytes share of Table 3.
+		size, _ := p.M.IO.QueryInformation(p.PID, h)
+		for i := 0; i < 15+p.rng.Intn(40); i++ {
+			off := p.rng.Int63n(size - 16384 + 1)
+			p.ReadAt(h, off, int(readSizes.Sample(p.rng)))
+			p.think(p.readGap)
+		}
+		p.Close(h)
+		return s.gap.NextDuration(p.rng)
+	}
+	sec, mst := p.M.VM.MapFile(p.PID, h)
+	if mst.IsError() {
+		p.Close(h)
+		return s.gap.NextDuration(p.rng)
+	}
+	// Strided small windows over a region of the mapping.
+	base := p.rng.Int63n(sec.Size()/2 + 1)
+	stride := int64(64 << 10)
+	for i := 0; i < 20+p.rng.Intn(60); i++ {
+		sec.Read(base+int64(i)*stride, 4096+p.rng.Intn(12288))
+		p.think(p.readGap)
+	}
+	// Write a small result file.
+	out := s.Lay.DataDir + fmt.Sprintf(`\result%04x.out`, p.rng.Intn(1<<16))
+	if oh, ost := p.Open(out, types.AccessWrite, types.DispositionOverwriteIf, 0, 0); !ost.IsError() {
+		p.WriteStream(oh, int64(10000+p.rng.Intn(200000)), 16384)
+		p.Close(oh)
+	}
+	p.Close(h)
+	sec.Unmap()
+	return s.gap.NextDuration(p.rng)
+}
+
+// TempChurn produces the §6.3 new-file lifetime population: 81% of new
+// files die within seconds — 26% overwritten within ~4 ms of creation
+// (75% of overwrites within 0.7 ms of the close), 55% explicitly deleted
+// within ~5 s, ~1% via the temporary attribute, with a heavy tail of
+// survivors (top 10% live minutes to hours).
+type TempChurn struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	gap *dist.OnOff
+	seq int
+}
+
+// NewTempChurn builds the model.
+func NewTempChurn(p *Proc, lay *fsgen.Layout) *TempChurn {
+	return &TempChurn{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(5, 600, 1.3),
+		dist.NewBoundedPareto(10, 3600, 1.15),
+		dist.NewBoundedPareto(0.5, 60, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (t *TempChurn) AppName() string { return "msoffice" }
+
+// Burst implements App: one scratch-file cycle.
+func (t *TempChurn) Burst() sim.Duration {
+	p := t.P
+	t.seq++
+	name := t.Lay.TempDir + fmt.Sprintf(`\wrk%06x.tmp`, t.seq)
+	size := int64(dist.NewBoundedPareto(20, 2<<20, 1.3).Sample(p.rng))
+
+	r := p.rng.Float64()
+	switch {
+	case r < 0.30:
+		// Overwrite-after-create: create, write, close, then overwrite —
+		// 75% within 0.7 ms of the close, with a heavy tail beyond
+		// (§6.3: top 10% live at least a minute, up to 18 hours). The
+		// deferred steps are scheduled events, not inline stalls.
+		h, st := p.Open(name, types.AccessWrite, types.DispositionCreate, 0, 0)
+		if st.IsError() {
+			break
+		}
+		p.WriteChunked(h, size, writeSizes)
+		p.Close(h)
+		gap := sim.FromMicroseconds(dist.NewBoundedPareto(50, 60e9, 1.25).Sample(p.rng))
+		p.M.Sched.After(gap, func(*sim.Scheduler) {
+			h2, st2 := p.Open(name, types.AccessWrite, types.DispositionOverwrite, 0, 0)
+			if !st2.IsError() {
+				p.WriteStream(h2, size/2+1, 4096)
+				p.Close(h2)
+			}
+			p.M.Sched.After(sim.FromMilliseconds(1+float64(p.rng.Intn(50))), func(*sim.Scheduler) {
+				p.DeleteFile(name)
+			})
+		})
+	case r < 0.90:
+		// Create then explicit delete: "72% of these files are deleted
+		// within 4 seconds after they were created", 60% within 1.5 s of
+		// the close, with the usual heavy tail.
+		h, st := p.Open(name, types.AccessWrite, types.DispositionCreate, 0, 0)
+		if st.IsError() {
+			break
+		}
+		p.WriteChunked(h, size, writeSizes)
+		p.Close(h)
+		reopen := p.rng.Bool(0.18) // 18% of DeleteFile cases reopen in between (§6.3)
+		gap := sim.FromMilliseconds(dist.NewBoundedPareto(400, 60e6, 1.3).Sample(p.rng))
+		if reopen {
+			p.M.Sched.After(gap/2, func(*sim.Scheduler) {
+				if h2, st2 := p.Open(name, types.AccessRead, types.DispositionOpen, 0, 0); !st2.IsError() {
+					p.ReadWhole(h2, 4096)
+					p.Close(h2)
+				}
+			})
+		}
+		p.M.Sched.After(gap, func(*sim.Scheduler) { p.DeleteFile(name) })
+	case r < 0.92:
+		// The rarely used temporary-file attribute (~1–2% of deletions).
+		h, st := p.Open(name, types.AccessWrite, types.DispositionCreate,
+			types.OptDeleteOnClose, types.AttrTemporary)
+		if st.IsError() {
+			break
+		}
+		p.WriteChunked(h, size, writeSizes)
+		hold := sim.FromMilliseconds(1 + float64(p.rng.Intn(2000)))
+		p.M.Sched.After(hold, func(*sim.Scheduler) { p.Close(h) })
+	default:
+		// A survivor: created and left alone (cleaned later or never).
+		h, st := p.Open(name, types.AccessWrite, types.DispositionCreate, 0, 0)
+		if !st.IsError() {
+			p.WriteStream(h, size, 4096)
+			p.Close(h)
+		}
+	}
+	return t.gap.NextDuration(p.rng)
+}
+
+// ShareUser models the network-file-server traffic: users were encouraged
+// to keep their files on the central servers (§2), so documents are read
+// and written over the CIFS redirector. It supplies the "network file
+// server" series of Figure 5 and the remote half of Table 2.
+type ShareUser struct {
+	P   *Proc // Drive is the share prefix (e.g. `\\fs\alice`)
+	Lay *fsgen.Layout
+	gap *dist.OnOff
+	seq int
+}
+
+// NewShareUser builds the model over the share layout.
+func NewShareUser(p *Proc, lay *fsgen.Layout) *ShareUser {
+	return &ShareUser{P: p, Lay: lay, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(20, 1800, 1.3),
+		dist.NewBoundedPareto(60, 14400, 1.15),
+		dist.NewBoundedPareto(2, 300, 1.3),
+	)}
+}
+
+// AppName implements App.
+func (s *ShareUser) AppName() string { return "shareuser" }
+
+// Burst implements App: one document interaction against the server.
+func (s *ShareUser) Burst() sim.Duration {
+	p := s.P
+	doc := pick(p.rng, s.Lay.Documents)
+	if doc == "" {
+		return sim.Hour
+	}
+	switch p.rng.Intn(4) {
+	case 0, 1:
+		// Read a document.
+		if h, st := p.Open(doc, types.AccessRead, types.DispositionOpen, 0, 0); !st.IsError() {
+			p.ReadWhole(h, 4096)
+			p.Close(h)
+		}
+	case 2:
+		// Edit-and-save.
+		size, _ := p.StatFile(doc)
+		if size <= 0 {
+			size = 4000
+		}
+		if h, st := p.Open(doc, types.AccessWrite, types.DispositionOverwriteIf, 0, 0); !st.IsError() {
+			p.WriteChunked(h, size, writeSizes)
+			p.Close(h)
+		}
+	default:
+		// Store a new file on the share (§5: "peaks occurring when the
+		// user ... retrieves a large set of files from an archive").
+		s.seq++
+		name := s.Lay.DocsDir + fmt.Sprintf(`\saved%05d.doc`, s.seq)
+		if h, st := p.Open(name, types.AccessWrite, types.DispositionCreate, 0, 0); !st.IsError() {
+			p.WriteStream(h, int64(2000+p.rng.Intn(60000)), 4096)
+			p.Close(h)
+		}
+	}
+	return s.gap.NextDuration(p.rng)
+}
+
+// DirPoller models the §7 "directory poll operations ... controlled
+// through loops in the applications": services and shell components that
+// re-enumerate directories and re-validate names on timers, independent of
+// user activity. With Explorer it supplies the control-operation dominance
+// of §8.3 (74% of opens perform control or directory operations).
+type DirPoller struct {
+	P    *Proc
+	Lay  *fsgen.Layout
+	Dirs []string
+	gap  *dist.OnOff
+}
+
+// NewDirPoller builds the model.
+func NewDirPoller(p *Proc, lay *fsgen.Layout) *DirPoller {
+	dirs := []string{lay.TempDir, lay.Profile, lay.SystemDir}
+	if lay.DevDir != "" {
+		dirs = append(dirs, lay.DevDir)
+	}
+	return &DirPoller{P: p, Lay: lay, Dirs: dirs, gap: dist.NewOnOff(
+		dist.NewBoundedPareto(30, 3600, 1.2), // polling phases
+		dist.NewBoundedPareto(10, 1800, 1.2), // quiet
+		dist.NewBoundedPareto(0.5, 20, 1.3),  // between polls
+	)}
+}
+
+// AppName implements App.
+func (dp *DirPoller) AppName() string { return "spoolsv" }
+
+// Burst implements App: one poll round — name validation FSCTLs, a
+// directory enumeration, and a few attribute probes.
+func (dp *DirPoller) Burst() sim.Duration {
+	p := dp.P
+	dir := pick(p.rng, dp.Dirs)
+	if vh, st := p.Open(`\`, types.AccessAttributes, types.DispositionOpen,
+		types.OptDirectoryFile, 0); !st.IsError() {
+		p.M.IO.FsControl(p.PID, vh, types.FsctlIsVolumeMounted)
+		p.Close(vh)
+	}
+	if h, st := p.Open(dir, types.AccessRead, types.DispositionOpen,
+		types.OptDirectoryFile, 0); !st.IsError() {
+		p.M.IO.QueryDirectory(p.PID, h)
+		p.Close(h)
+	}
+	// Poll a watch file that usually does not exist, plus a config stat.
+	p.Open(dir+`\trigger.flg`, types.AccessRead, types.DispositionOpen, 0, 0)
+	if f := pick(p.rng, dp.Lay.Documents); f != "" && p.rng.Bool(0.6) {
+		p.StatFile(f)
+	}
+	return dp.gap.NextDuration(p.rng)
+}
+
+// LaunchApp models a process launch: the loader opens the executable and
+// its import-table DLLs through the VM manager's image sections — the
+// §3.3 executable traffic that dominates transferred bytes in the traces.
+func LaunchApp(p *Proc, lay *fsgen.Layout, vm *vmmgr.Manager, popular *dist.Zipf) {
+	exe := zipfPick(popular, p.rng, lay.Executables)
+	if exe == "" {
+		return
+	}
+	// A loader search-path miss or two (§8.4's not-found population).
+	p.Open(exe+`.local`, types.AccessRead, types.DispositionOpen, 0, 0)
+	vm.LoadImage(p.PID, p.path(exe))
+	n := 2 + p.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		if dll := zipfPick(popular, p.rng, lay.Libraries); dll != "" {
+			vm.LoadImage(p.PID, p.path(dll))
+		}
+	}
+}
+
+// AppLauncher fires process launches on user-ish and service-ish timers.
+type AppLauncher struct {
+	P   *Proc
+	Lay *fsgen.Layout
+	pop *dist.Zipf
+	gap *dist.OnOff
+}
+
+// NewAppLauncher builds the model.
+func NewAppLauncher(p *Proc, lay *fsgen.Layout) *AppLauncher {
+	return &AppLauncher{P: p, Lay: lay,
+		pop: dist.NewZipf(48, 1.0),
+		gap: dist.NewOnOff(
+			dist.NewBoundedPareto(10, 600, 1.3),
+			dist.NewBoundedPareto(60, 10800, 1.15),
+			dist.NewBoundedPareto(2, 120, 1.3),
+		)}
+}
+
+// AppName implements App.
+func (a *AppLauncher) AppName() string { return "launcher" }
+
+// Burst implements App: one process launch.
+func (a *AppLauncher) Burst() sim.Duration {
+	LaunchApp(a.P, a.Lay, a.P.M.VM, a.pop)
+	return a.gap.NextDuration(a.P.rng)
+}
+
+// AppendLog models the pervasive small-append writers (application logs,
+// status files): the file stays open across a burst and receives many
+// sub-page writes that the lazy writer later coalesces into few 64 KB
+// flushes — the traffic mix behind the paper's 96% FastIO write share.
+type AppendLog struct {
+	P    *Proc
+	Lay  *fsgen.Layout
+	h    iomgr.Handle
+	ok   bool
+	gap  *dist.OnOff
+	name string
+}
+
+// NewAppendLog builds the model.
+func NewAppendLog(p *Proc, lay *fsgen.Layout) *AppendLog {
+	return &AppendLog{P: p, Lay: lay,
+		name: lay.Profile + `\Application Data\events.log`,
+		gap: dist.NewOnOff(
+			dist.NewBoundedPareto(20, 1800, 1.25),
+			dist.NewBoundedPareto(10, 1200, 1.2),
+			dist.NewBoundedPareto(0.5, 60, 1.3),
+		)}
+}
+
+// AppName implements App.
+func (a *AppendLog) AppName() string { return "services" }
+
+// Burst implements App: append a handful of records.
+func (a *AppendLog) Burst() sim.Duration {
+	p := a.P
+	if !a.ok {
+		h, st := p.Open(a.name, types.AccessWrite, types.DispositionOpenIf, 0, 0)
+		if st.IsError() {
+			return sim.Minute
+		}
+		a.h = h
+		a.ok = true
+		// Position at the end once; appends then ride the file pointer.
+		size, _ := p.M.IO.QueryInformation(p.PID, a.h)
+		p.WriteAt(a.h, size, int(writeSizes.Sample(p.rng)))
+	}
+	n := 3 + p.rng.Intn(10)
+	for i := 0; i < n; i++ {
+		if _, st := p.Write(a.h, int(writeSizes.Sample(p.rng))); st.IsError() {
+			a.ok = false
+			return a.gap.NextDuration(p.rng)
+		}
+		p.think(p.writeGap)
+	}
+	// Rotate occasionally so the log does not grow without bound.
+	if size, _ := p.M.IO.QueryInformation(p.PID, a.h); size > 4<<20 {
+		p.M.IO.SetEndOfFile(p.PID, a.h, 0)
+	}
+	return a.gap.NextDuration(p.rng)
+}

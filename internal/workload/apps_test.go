@@ -1,0 +1,279 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fsgen"
+	"repro/internal/ntos/machine"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+// appRig builds a machine + layout and returns a Proc factory plus the
+// captured trace.
+type appRig struct {
+	m    *machine.Machine
+	lay  *fsgen.Layout
+	recs *[]tracefmt.Record
+	rng  *sim.RNG
+}
+
+func newAppRig(t *testing.T, cat machine.Category) *appRig {
+	t.Helper()
+	recs := &[]tracefmt.Record{}
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(77)
+	m := machine.New(sched, rng.Fork(1), machine.Config{
+		Name: "app-rig", Category: cat,
+		TraceFlush: func(b []tracefmt.Record) { *recs = append(*recs, b...) },
+	})
+	m.AddVolume(`C:`, volume.IDE1998, volume.FlavorNTFS, false)
+	lay := fsgen.PopulateLocal(m.SystemVolume().FS, rng.Fork(2), fsgen.Config{
+		User: "u", Category: cat, Now: 0,
+	})
+	m.Start()
+	return &appRig{m: m, lay: lay, recs: recs, rng: rng}
+}
+
+func (r *appRig) proc(name string) *Proc {
+	return NewProc(r.m, name, `C:`, r.rng.Fork(99))
+}
+
+// settle drains deferred events and flushes trace buffers.
+func (r *appRig) settle() {
+	r.m.Sched.RunUntil(r.m.Sched.Now().Add(20 * sim.Second))
+	for _, v := range r.m.Volumes {
+		v.Trace.Flush()
+	}
+	r.m.Sched.RunUntil(r.m.Sched.Now().Add(sim.Second))
+}
+
+func count(recs []tracefmt.Record, k tracefmt.EventKind) int {
+	n := 0
+	for _, r := range recs {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNotepadSaveSignature(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	n := NewNotepad(r.proc("notepad"), r.lay)
+	if gap := n.Burst(); gap <= 0 {
+		t.Errorf("gap = %v", gap)
+	}
+	r.settle()
+	rs := *r.recs
+	// §1: the save triggers failed opens, an overwrite and extra
+	// open/close sequences — roughly 26 calls.
+	if got := count(rs, tracefmt.EvCreateFailed); got < 2 {
+		t.Errorf("failed opens = %d, want >= 2 (paper: 3)", got)
+	}
+	opens := count(rs, tracefmt.EvCreate)
+	closes := count(rs, tracefmt.EvClose)
+	if opens < 8 || closes < 8 {
+		t.Errorf("opens=%d closes=%d; expected the multi-sequence save", opens, closes)
+	}
+	if count(rs, tracefmt.EvSetDisposition) == 0 {
+		t.Error("temp file not deleted")
+	}
+}
+
+func TestExplorerControlDominance(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	e := NewExplorer(r.proc("explorer"), r.lay)
+	for i := 0; i < 10; i++ {
+		e.Burst()
+	}
+	r.settle()
+	rs := *r.recs
+	ctl := count(rs, tracefmt.EvFastDeviceControl) + count(rs, tracefmt.EvUserFsRequest) +
+		count(rs, tracefmt.EvQueryDirectory) + count(rs, tracefmt.EvFastQueryBasicInfo)
+	if ctl < 50 {
+		t.Errorf("control ops = %d after 10 navigations", ctl)
+	}
+	if count(rs, tracefmt.EvCreateFailed) == 0 {
+		t.Error("no desktop.ini-style failed probes")
+	}
+}
+
+func TestWebBrowserChurn(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	w := NewWebBrowser(r.proc("iexplore"), r.lay)
+	before := len(w.Lay.WebFiles)
+	for i := 0; i < 40; i++ {
+		w.Burst()
+	}
+	r.settle()
+	if len(w.Lay.WebFiles) <= before {
+		t.Error("no cache fills after 40 pages")
+	}
+	if count(*r.recs, tracefmt.EvWrite)+count(*r.recs, tracefmt.EvFastWrite) == 0 {
+		t.Error("no cache writes")
+	}
+}
+
+func TestJavaToolTinyReads(t *testing.T) {
+	r := newAppRig(t, machine.Pool)
+	j := NewJavaTool(r.proc("jvc"), r.lay)
+	j.Burst()
+	r.settle()
+	tiny := 0
+	for _, rec := range *r.recs {
+		if (rec.Kind == tracefmt.EvRead || rec.Kind == tracefmt.EvFastRead) &&
+			rec.Length >= 2 && rec.Length <= 4 {
+			tiny++
+		}
+	}
+	if tiny < 100 {
+		t.Errorf("2–4 byte reads = %d; paper: thousands per class file", tiny)
+	}
+}
+
+func TestLoadWCHoldsHandles(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	l := NewLoadWC(r.proc("loadwc"), r.lay)
+	for i := 0; i < 20; i++ {
+		l.Burst()
+	}
+	if len(l.open) == 0 {
+		t.Fatal("loadwc holds no files")
+	}
+	held := r.m.IO.OpenHandles()
+	if held == 0 {
+		t.Error("no open handles held")
+	}
+	l.CloseAll()
+	if r.m.IO.OpenHandles() != 0 {
+		t.Errorf("handles after CloseAll = %d", r.m.IO.OpenHandles())
+	}
+}
+
+func TestDBServiceDisablesCaching(t *testing.T) {
+	r := newAppRig(t, machine.Administrative)
+	d := NewDBService(r.proc("system"), r.lay)
+	d.Burst()
+	d.Burst()
+	r.settle()
+	// The store file must carry the no-buffering option: its transfers
+	// ride the IRP path (no FastIO).
+	ioStats := r.m.IO.Stats
+	if ioStats.FastIoSucceeded != 0 {
+		// QueryInformation may use FastIO; only data ops are forbidden.
+		for _, rec := range *r.recs {
+			if rec.Kind == tracefmt.EvFastRead || rec.Kind == tracefmt.EvFastWrite {
+				if rec.Annot&tracefmt.AnnotFastRefused == 0 {
+					t.Fatal("FastIO data transfer on a no-cache file")
+				}
+			}
+		}
+	}
+}
+
+func TestFlushyAppFlushesPerWrite(t *testing.T) {
+	r := newAppRig(t, machine.Administrative)
+	f := NewFlushyApp(r.proc("logwriter"), r.lay)
+	for i := 0; i < 5; i++ {
+		f.Burst()
+	}
+	r.settle()
+	flushes := count(*r.recs, tracefmt.EvFlushBuffers)
+	writes := count(*r.recs, tracefmt.EvWrite) + count(*r.recs, tracefmt.EvFastWrite)
+	if flushes == 0 {
+		t.Fatal("no flushes")
+	}
+	if writes == 0 || flushes < writes/2 {
+		t.Errorf("flushes=%d writes=%d; expected flush-per-write", flushes, writes)
+	}
+}
+
+func TestAppendLogManySmallWrites(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	a := NewAppendLog(r.proc("services"), r.lay)
+	for i := 0; i < 10; i++ {
+		a.Burst()
+	}
+	r.settle()
+	fast := count(*r.recs, tracefmt.EvFastWrite)
+	if fast < 20 {
+		t.Errorf("fast writes = %d; append log should produce many", fast)
+	}
+}
+
+func TestTempChurnLifecycle(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	tc := NewTempChurn(r.proc("msoffice"), r.lay)
+	for i := 0; i < 60; i++ {
+		tc.Burst()
+	}
+	// Let the deferred overwrites/deletes fire.
+	r.m.Sched.RunUntil(r.m.Sched.Now().Add(5 * sim.Minute))
+	r.settle()
+	fsd := r.m.SystemVolume().FSD
+	if fsd.Stats.ExplicitDeletes == 0 {
+		t.Error("no explicit deletes")
+	}
+	if fsd.Stats.OverwriteTrunc == 0 {
+		t.Error("no overwrites")
+	}
+	if fsd.Stats.TempFileDeletes == 0 {
+		t.Log("no temp-attribute deletes in 60 bursts (2% path) — acceptable")
+	}
+}
+
+func TestShareUserDriveTargeting(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	// Mount a share and target it.
+	shareVol := r.m.AddVolume(`\\fs\u`, volume.Redirector100Mb, volume.FlavorCIFS, true)
+	shareLay := fsgen.PopulateShare(shareVol.FS, r.rng.Fork(5), fsgen.ShareConfig{User: "u", Scale: 0})
+	p := NewProc(r.m, "shareuser", `\\fs\u`, r.rng.Fork(6))
+	su := NewShareUser(p, shareLay)
+	for i := 0; i < 20; i++ {
+		su.Burst()
+	}
+	r.settle()
+	remote := 0
+	for _, rec := range *r.recs {
+		if rec.Annot&tracefmt.AnnotRemote != 0 {
+			remote++
+		}
+	}
+	if remote == 0 {
+		t.Error("share user produced no remote-annotated records")
+	}
+}
+
+func TestWinlogonTouchesProfile(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	w := NewWinlogon(r.proc("winlogon"), r.lay)
+	w.Logon()
+	w.Logoff()
+	r.settle()
+	profileWrites := 0
+	for _, rec := range *r.recs {
+		if rec.Kind == tracefmt.EvNameMap &&
+			strings.Contains(rec.NameString(), `profiles`) {
+			profileWrites++
+		}
+	}
+	if profileWrites == 0 {
+		t.Error("winlogon did not touch the profile tree")
+	}
+}
+
+func TestLaunchAppLoadsImages(t *testing.T) {
+	r := newAppRig(t, machine.Personal)
+	a := NewAppLauncher(r.proc("launcher"), r.lay)
+	a.Burst()
+	if r.m.VM.Stats.ImageLoads == 0 {
+		t.Fatal("no image loads")
+	}
+	r.settle()
+	if count(*r.recs, tracefmt.EvPagingRead) == 0 {
+		t.Error("no paging reads from the launch")
+	}
+}

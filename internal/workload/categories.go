@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"repro/internal/fsgen"
+	"repro/internal/ntos/machine"
+	"repro/internal/sim"
+)
+
+// Install builds the §2 category-appropriate application mix on a machine
+// and returns the configured Driver (not yet started).
+func Install(m *machine.Machine, lay *fsgen.Layout, rng *sim.RNG) *Driver {
+	d := NewDriver(m, lay, rng.Fork(1))
+	proc := func(name string) *Proc {
+		return NewProc(m, name, `C:`, rng.Fork(uint64(len(d.Apps))+100))
+	}
+
+	// Every machine runs the shell, directory-polling services, process
+	// launches, background churn, and a log-flushing service.
+	d.AddApp(NewExplorer(proc("explorer"), lay))
+	d.AddApp(NewDirPoller(proc("spoolsv"), lay))
+	d.AddApp(NewAppLauncher(proc("launcher"), lay))
+	d.AddApp(NewTempChurn(proc("msoffice"), lay))
+	d.AddApp(NewAppendLog(proc("services"), lay))
+
+	switch m.Category {
+	case machine.WalkUp:
+		// Scientific analysis, program development, document preparation.
+		d.AddApp(NewNotepad(proc("notepad"), lay))
+		d.AddApp(NewWebBrowser(proc("iexplore"), lay))
+		d.AddApp(NewMailClient(proc("mail"), lay, false))
+		if len(lay.DevSources) > 0 {
+			d.AddApp(NewDevBuild(proc("cl"), lay))
+		}
+	case machine.Pool:
+		// Mainly program development plus multimedia/data processing.
+		d.AddApp(NewDevBuild(proc("cl"), lay))
+		d.AddApp(NewDevBuild(proc("link"), lay))
+		d.AddApp(NewJavaTool(proc("jvc"), lay))
+		d.AddApp(NewFrontPage(proc("frontpage"), lay))
+		d.AddApp(NewWebBrowser(proc("iexplore"), lay))
+	case machine.Personal:
+		// Collaborative applications: email, documents; some development.
+		d.AddApp(NewMailClient(proc("mail"), lay, rng.Bool(0.3)))
+		d.AddApp(NewWebBrowser(proc("iexplore"), lay))
+		d.AddApp(NewNotepad(proc("notepad"), lay))
+		d.AddApp(NewLoadWC(proc("loadwc"), lay))
+		if len(lay.DevSources) > 0 && rng.Bool(0.3) {
+			d.AddApp(NewDevBuild(proc("cl"), lay))
+		}
+	case machine.Administrative:
+		// Database interaction, collaborative applications, admin tools;
+		// the flush-after-every-write anti-pattern of §9.2 lives here.
+		d.AddApp(NewDBService(proc("system"), lay))
+		d.AddApp(NewFlushyApp(proc("logwriter"), lay))
+		d.AddApp(NewMailClient(proc("mail"), lay, false))
+		d.AddApp(NewNotepad(proc("notepad"), lay))
+		d.AddApp(NewWebBrowser(proc("iexplore"), lay))
+	case machine.Scientific:
+		// Simulation, graphics and statistical processing.
+		d.AddApp(NewSciApp(proc("simproc"), lay))
+		d.AddApp(NewSciApp(proc("statproc"), lay))
+		if len(lay.DevSources) > 0 {
+			d.AddApp(NewDevBuild(proc("cl"), lay))
+		}
+	}
+	return d
+}

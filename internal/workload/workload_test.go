@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/fsgen"
+	"repro/internal/ntos/machine"
+	"repro/internal/ntos/volume"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+// build assembles a traced machine of the given category with content and
+// an installed workload driver.
+func build(t *testing.T, cat machine.Category, seed uint64) (*machine.Machine, *Driver, *[]tracefmt.Record) {
+	t.Helper()
+	recs := &[]tracefmt.Record{}
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(seed)
+	m := machine.New(sched, rng.Fork(1), machine.Config{
+		Name: "wl-test", Category: cat,
+		TraceFlush: func(b []tracefmt.Record) { *recs = append(*recs, b...) },
+	})
+	m.AddVolume(`C:`, volume.IDE1998, volume.FlavorNTFS, false)
+	lay := fsgen.PopulateLocal(m.SystemVolume().FS, rng.Fork(2), fsgen.Config{
+		User: "alice", Category: cat, Now: 0,
+	})
+	m.Start()
+	d := Install(m, lay, rng.Fork(3))
+	return m, d, recs
+}
+
+// run simulates d hours and flushes buffers.
+func run(m *machine.Machine, d *Driver, hours int) {
+	d.Start()
+	m.Sched.RunUntil(sim.Time(hours) * sim.Time(sim.Hour))
+	d.Stop()
+	m.Stop()
+	m.Sched.RunUntil(m.Sched.Now().Add(sim.Minute))
+}
+
+func countKind(recs []tracefmt.Record, k tracefmt.EventKind) int {
+	n := 0
+	for _, r := range recs {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWorkloadProducesTraffic(t *testing.T) {
+	m, d, recs := build(t, machine.Personal, 1)
+	run(m, d, 4)
+	if len(*recs) < 5000 {
+		t.Fatalf("only %d trace records after 8 simulated hours", len(*recs))
+	}
+	if d.Stats.Sessions == 0 {
+		t.Error("no logon sessions")
+	}
+	// The §3.2 envelope: 80k–1.4M events per 24h ⇒ at least ~10k in 8h
+	// for an active machine; sanity-bound the upper end too.
+	perDay := len(*recs) * 3
+	if perDay < 30000 || perDay > 5000000 {
+		t.Errorf("extrapolated events/day = %d, outside plausible envelope", perDay)
+	}
+}
+
+func TestWorkloadEventMix(t *testing.T) {
+	m, d, recs := build(t, machine.Personal, 2)
+	run(m, d, 4)
+	rs := *recs
+	creates := countKind(rs, tracefmt.EvCreate)
+	failed := countKind(rs, tracefmt.EvCreateFailed)
+	cleanups := countKind(rs, tracefmt.EvCleanup)
+	if creates == 0 || failed == 0 || cleanups == 0 {
+		t.Fatalf("missing basics: create=%d failed=%d cleanup=%d", creates, failed, cleanups)
+	}
+	// §8.4: failures are a noticeable share of opens (12% in the paper).
+	frac := float64(failed) / float64(creates+failed)
+	if frac < 0.02 || frac > 0.4 {
+		t.Errorf("open failure fraction = %.3f, want around 0.12", frac)
+	}
+	// Cleanup must roughly match successful opens (every open closes).
+	if cleanups < creates*8/10 {
+		t.Errorf("cleanups %d << creates %d: leaked sessions", cleanups, creates)
+	}
+	// Paging traffic must exist (VM loads + cache misses).
+	paging := countKind(rs, tracefmt.EvPagingRead) + countKind(rs, tracefmt.EvReadAhead) +
+		countKind(rs, tracefmt.EvLazyWrite) + countKind(rs, tracefmt.EvPagingWrite)
+	if paging == 0 {
+		t.Error("no paging traffic recorded")
+	}
+	// Control/metadata operations must be plentiful (the §8.3 dominance of
+	// control sessions is asserted precisely at the analysis layer; here we
+	// just require a substantial control-op stream).
+	controls := countKind(rs, tracefmt.EvUserFsRequest) + countKind(rs, tracefmt.EvFastDeviceControl) +
+		countKind(rs, tracefmt.EvQueryDirectory) + countKind(rs, tracefmt.EvFastQueryBasicInfo) +
+		countKind(rs, tracefmt.EvQueryInformation)
+	if controls < creates/4 {
+		t.Errorf("control ops %d too few vs %d creates", controls, creates)
+	}
+}
+
+func TestWorkloadFastIOShare(t *testing.T) {
+	m, d, recs := build(t, machine.Pool, 3)
+	run(m, d, 4)
+	rs := *recs
+	// §10 measures requests arriving at the file system driver, so the
+	// IRP side includes paging I/O (VM loads, read-ahead, lazy writes).
+	fastR := countKind(rs, tracefmt.EvFastRead)
+	irpR := countKind(rs, tracefmt.EvRead) + countKind(rs, tracefmt.EvPagingRead) +
+		countKind(rs, tracefmt.EvReadAhead)
+	fastW := countKind(rs, tracefmt.EvFastWrite)
+	irpW := countKind(rs, tracefmt.EvWrite) + countKind(rs, tracefmt.EvPagingWrite) +
+		countKind(rs, tracefmt.EvLazyWrite)
+	if fastR == 0 || fastW == 0 {
+		t.Fatalf("no FastIO traffic: fastR=%d fastW=%d", fastR, fastW)
+	}
+	readFast := float64(fastR) / float64(fastR+irpR)
+	writeFast := float64(fastW) / float64(fastW+irpW)
+	// Paper: FastIO carries 59% of reads and 96% of writes. Require the
+	// shape: both majority-fast, with a substantial IRP remainder on the
+	// read side.
+	if readFast < 0.35 || readFast > 0.95 {
+		t.Errorf("FastIO read share = %.2f, want ~0.59", readFast)
+	}
+	if writeFast < 0.5 {
+		t.Errorf("FastIO write share = %.2f, want ~0.96", writeFast)
+	}
+}
+
+func TestWorkloadCacheHitRate(t *testing.T) {
+	m, d, _ := build(t, machine.Personal, 4)
+	run(m, d, 4)
+	cs := m.Cache.Stats
+	if cs.ReadRequests == 0 {
+		t.Fatal("no cached reads")
+	}
+	hit := float64(cs.ReadsFromCache) / float64(cs.ReadRequests)
+	// §9: "In 60% of the file read requests the data comes from the file
+	// cache." Accept a generous band; the report pins the exact number.
+	if hit < 0.35 || hit > 0.98 {
+		t.Errorf("cache hit rate = %.2f", hit)
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	m1, d1, r1 := build(t, machine.Personal, 7)
+	run(m1, d1, 2)
+	m2, d2, r2 := build(t, machine.Personal, 7)
+	run(m2, d2, 2)
+	if len(*r1) != len(*r2) {
+		t.Fatalf("same seed produced %d vs %d records", len(*r1), len(*r2))
+	}
+	for i := range *r1 {
+		if (*r1)[i] != (*r2)[i] {
+			t.Fatalf("record %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestAllCategoriesRun(t *testing.T) {
+	for _, cat := range []machine.Category{
+		machine.WalkUp, machine.Pool, machine.Personal,
+		machine.Administrative, machine.Scientific,
+	} {
+		m, d, recs := build(t, cat, 11)
+		run(m, d, 3)
+		if len(*recs) < 500 {
+			t.Errorf("category %v produced only %d records", cat, len(*recs))
+		}
+		if m.IO.OpenHandles() > 20 {
+			// loadwc and db services legitimately hold handles; bound it.
+			t.Errorf("category %v leaked %d handles", cat, m.IO.OpenHandles())
+		}
+	}
+}
+
+func TestScientificUsesMappedFiles(t *testing.T) {
+	m, d, _ := build(t, machine.Scientific, 12)
+	run(m, d, 4)
+	if m.VM.Stats.SectionsMapped == 0 || m.VM.Stats.SectionFaults == 0 {
+		t.Errorf("scientific workload did not map files: %+v", m.VM.Stats)
+	}
+}
+
+func TestTempChurnDeletesFiles(t *testing.T) {
+	m, d, _ := build(t, machine.Personal, 13)
+	run(m, d, 4)
+	fsd := m.SystemVolume().FSD
+	if fsd.Stats.ExplicitDeletes == 0 {
+		t.Error("no explicit deletions")
+	}
+	if fsd.Stats.OverwriteTrunc == 0 {
+		t.Error("no overwrite truncations")
+	}
+}
