@@ -17,6 +17,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/replay"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -510,6 +511,35 @@ func BenchmarkCachePolicySweep(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// BenchmarkReplay measures the trace replay engine: the whole corpus is
+// re-driven through freshly built machines, reported as trace records
+// replayed per wall-clock second.
+func BenchmarkReplay(b *testing.B) {
+	ds, _ := corpus(b)
+	var records int
+	for _, mt := range ds.Machines {
+		records += len(mt.Records)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := replay.Replay(ds, replay.Config{Mode: replay.ModeFast, Seed: 13})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var diverged int
+			for _, mr := range res.Machines {
+				diverged += mr.Diverged
+			}
+			b.ReportMetric(float64(diverged)/float64(records), "diverged_frac")
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(records)*float64(b.N)/sec, "records/s")
 	}
 }
 

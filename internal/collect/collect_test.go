@@ -110,6 +110,47 @@ func TestStoreSaveLoadDir(t *testing.T) {
 	}
 }
 
+func TestSaveDirNameCollisions(t *testing.T) {
+	// "pool/01", "pool:01" and "pool_01" all flatten to "pool_01"; SaveDir
+	// must keep all three streams instead of silently overwriting.
+	dir := t.TempDir()
+	s := NewStore()
+	s.Append("pool/01", mkRecs(10, 1))
+	s.Append("pool:01", mkRecs(20, 2))
+	s.Append("pool_01", mkRecs(30, 3))
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(loaded.Machines()); got != 3 {
+		t.Fatalf("loaded %d streams (%v), want 3", got, loaded.Machines())
+	}
+	if loaded.TotalRecords() != 60 {
+		t.Fatalf("loaded %d records, want 60", loaded.TotalRecords())
+	}
+	// The flattening is deterministic: saving twice yields the same names.
+	dir2 := t.TempDir()
+	if err := s.SaveDir(dir2); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, err := LoadDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := loaded.Machines(), loaded2.Machines()
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("non-deterministic names: %v vs %v", m1, m2)
+		}
+	}
+}
+
 func TestNetworkTransport(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -167,18 +167,34 @@ func safeName(machine string) string {
 	}, machine)
 }
 
-// SaveDir writes each finalized stream as <dir>/<machine>.trz.
+// SaveDir writes each finalized stream as <dir>/<machine>.trz. Machine
+// names that flatten to the same file name are disambiguated with a
+// deterministic numeric suffix (-2, -3, ...) in sorted-name order, so two
+// machines can never silently overwrite each other's stream.
 func (s *Store) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for name, st := range s.streams {
+	names := make([]string, 0, len(s.streams))
+	for name := range s.streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	used := map[string]bool{}
+	for _, name := range names {
+		st := s.streams[name]
 		if !st.closed {
 			return fmt.Errorf("collect: stream %q not finalized", name)
 		}
-		path := filepath.Join(dir, safeName(name)+".trz")
+		base := safeName(name)
+		file := base
+		for n := 2; used[file]; n++ {
+			file = fmt.Sprintf("%s-%d", base, n)
+		}
+		used[file] = true
+		path := filepath.Join(dir, file+".trz")
 		if err := os.WriteFile(path, st.buf.Bytes(), 0o644); err != nil {
 			return err
 		}
@@ -205,14 +221,21 @@ func LoadDir(dir string) (*Store, error) {
 		name := strings.TrimSuffix(e.Name(), ".trz")
 		st := &stream{closed: true}
 		st.buf.Write(data)
-		// Count records by decompressing once.
+		// Count records by streaming through the stream once, without
+		// materializing it.
 		zr := flate.NewReader(bytes.NewReader(data))
-		recs, err := tracefmt.ReadAll(zr)
-		zr.Close()
-		if err != nil {
-			return nil, fmt.Errorf("collect: %s: %w", e.Name(), err)
+		rd := tracefmt.NewReader(zr)
+		for {
+			if _, err := rd.Next(); err != nil {
+				if err != io.EOF {
+					zr.Close()
+					return nil, fmt.Errorf("collect: %s: %w", e.Name(), err)
+				}
+				break
+			}
 		}
-		st.count = len(recs)
+		zr.Close()
+		st.count = rd.Count()
 		s.streams[name] = st
 	}
 	return s, nil

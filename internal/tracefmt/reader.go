@@ -1,0 +1,69 @@
+package tracefmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ReaderChunkRecords is the number of records buffered per read chunk by
+// Reader — sized so one chunk matches the trace driver's 3,000-record
+// storage buffers without ever holding a whole stream in memory.
+const ReaderChunkRecords = 3000
+
+// Reader decodes a record stream incrementally. It reads the underlying
+// stream in fixed-size chunks, so replay and analysis can process corpora
+// much larger than memory.
+type Reader struct {
+	br    *bufio.Reader
+	count int
+}
+
+// NewReader returns a streaming decoder over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, ReaderChunkRecords*RecordSize)}
+}
+
+// Count reports how many records have been decoded so far.
+func (rd *Reader) Count() int { return rd.count }
+
+// Next decodes and returns the next record. It returns io.EOF at a clean
+// end of stream, and an error describing the stray byte count when the
+// stream ends inside a record.
+func (rd *Reader) Next() (*Record, error) {
+	var buf [RecordSize]byte
+	n, err := io.ReadFull(rd.br, buf[:])
+	switch err {
+	case nil:
+	case io.EOF:
+		return nil, io.EOF
+	case io.ErrUnexpectedEOF:
+		return nil, fmt.Errorf("tracefmt: truncated stream: %d stray bytes after %d records",
+			n, rd.count)
+	default:
+		return nil, err
+	}
+	rec := new(Record)
+	if _, err := rec.Decode(buf[:]); err != nil {
+		return nil, err
+	}
+	rd.count++
+	return rec, nil
+}
+
+// ReadAll decodes all records from r until EOF, streaming in fixed-size
+// chunks rather than slurping the whole stream.
+func ReadAll(r io.Reader) ([]Record, error) {
+	rd := NewReader(r)
+	var recs []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, *rec)
+	}
+}

@@ -1,0 +1,84 @@
+package tracefmt
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/ntos/types"
+)
+
+func TestReaderStreamsAllRecords(t *testing.T) {
+	const n = ReaderChunkRecords*2 + 17 // force several chunk refills
+	var buf bytes.Buffer
+	want := make([]Record, n)
+	for i := range want {
+		want[i] = sampleRecord()
+		want[i].Offset = int64(i)
+		want[i].FileID = types.FileObjectID(i + 1)
+	}
+	if err := WriteAll(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := NewReader(&buf)
+	for i := 0; ; i++ {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			if i != n {
+				t.Fatalf("EOF after %d records, want %d", i, n)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if *rec != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if rd.Count() != n {
+		t.Fatalf("Count() = %d, want %d", rd.Count(), n)
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	r := sampleRecord()
+	data := r.Encode(nil)
+	data = append(data, r.Encode(nil)[:RecordSize/3]...)
+
+	rd := NewReader(bytes.NewReader(data))
+	if _, err := rd.Next(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	_, err := rd.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated record: got err=%v, want decode error", err)
+	}
+	if !strings.Contains(err.Error(), "stray") {
+		t.Fatalf("error %q does not describe stray bytes", err)
+	}
+}
+
+func TestReadAllMatchesReader(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []Record{sampleRecord(), sampleRecord(), sampleRecord()}
+	recs[1].Kind = EvWrite
+	recs[2].Kind = EvCleanup
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("ReadAll returned %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}

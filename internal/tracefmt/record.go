@@ -273,23 +273,3 @@ func WriteAll(w io.Writer, recs []Record) error {
 	_, err := w.Write(buf)
 	return err
 }
-
-// ReadAll decodes all records from r until EOF.
-func ReadAll(r io.Reader) ([]Record, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
-	if len(data)%RecordSize != 0 {
-		return nil, fmt.Errorf("tracefmt: stream length %d not a record multiple", len(data))
-	}
-	recs := make([]Record, len(data)/RecordSize)
-	rest := data
-	for i := range recs {
-		rest, err = recs[i].Decode(rest)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return recs, nil
-}
