@@ -585,3 +585,27 @@ func BenchmarkAblationCacheSize(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleet measures the sharded fleet-execution engine: the same
+// reduced study at increasing worker counts. Per-machine streams are
+// byte-identical across worker counts, so the sub-benchmarks differ only
+// in wall-clock — the speedup curve is the artefact.
+func BenchmarkFleet(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewStudy(core.Config{
+					Seed: 17, Machines: 8, Duration: sim.Hour,
+					WithNetwork: true, Workers: workers,
+				})
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(s.TotalEvents()), "records")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+// Command fsfleet runs the full §2/§3 study — 45 machines traced for
+// 4 weeks — as a sharded fleet across a worker pool. It is fstrace at
+// production scale: each machine runs on its own scheduler shard, live
+// progress (events/sec, sim:real ratio, per-shard lag) prints while the
+// fleet runs, completed machines checkpoint so an interrupted run can
+// resume, and per-machine stream hashes let two runs be compared without
+// shipping the corpora.
+//
+// Usage:
+//
+//	fsfleet -out traces/ -workers 8 -checkpoint-dir ckpt/
+//	fsfleet -out traces/ -workers 8 -checkpoint-dir ckpt/ -resume
+//
+// The per-machine trace streams are byte-identical at any -workers value,
+// and a resumed run converges to the same corpus as an uninterrupted one.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fsfleet: ")
+	var (
+		out      = flag.String("out", "traces", "output directory for the trace corpus")
+		machines = flag.Int("machines", 45, "fleet size (paper: 45)")
+		weeks    = flag.Float64("weeks", 4, "traced period in simulated weeks (paper: 4)")
+		hours    = flag.Float64("hours", 0, "traced period in simulated hours (overrides -weeks)")
+		seed     = flag.Uint64("seed", 1, "study seed (same seed ⇒ identical corpus at any worker count)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "machine shards running concurrently")
+		ckptDir  = flag.String("checkpoint-dir", "", "persist each completed machine here (enables -resume)")
+		resume   = flag.Bool("resume", false, "restore completed machines from -checkpoint-dir")
+		network  = flag.Bool("network", true, "mount per-user network shares over the redirector")
+		noFast   = flag.Bool("block-fastio", false, "insert an opaque filter that blocks FastIO (§10 ablation)")
+		hash     = flag.Bool("hash", false, "print each machine's compressed-stream SHA-256")
+		interval = flag.Duration("progress", 5*time.Second, "progress print interval (0 disables)")
+	)
+	flag.Parse()
+
+	duration := sim.FromSeconds(*weeks * 7 * 24 * 3600)
+	if *hours > 0 {
+		duration = sim.FromSeconds(*hours * 3600)
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume needs -checkpoint-dir")
+	}
+
+	study := core.NewStudy(core.Config{
+		Seed:            *seed,
+		Machines:        *machines,
+		Duration:        duration,
+		WithNetwork:     *network,
+		SnapshotAtStart: true,
+		FastIOBlocked:   *noFast,
+		Workers:         *workers,
+		CheckpointDir:   *ckptDir,
+		Resume:          *resume,
+	})
+
+	st := study.Engine.Status()
+	fmt.Fprintf(os.Stderr, "fleet of %d machines, %.1f simulated days, %d workers (seed %d)\n",
+		*machines, duration.Seconds()/86400, *workers, *seed)
+	if st.Restored > 0 {
+		fmt.Fprintf(os.Stderr, "restored %d machines from %s\n", st.Restored, *ckptDir)
+	}
+
+	// SIGINT/SIGTERM cancel the run; completed machines keep their
+	// checkpoints, so the same command with -resume picks up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan struct{})
+	if *interval > 0 {
+		go func() {
+			t := time.NewTicker(*interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, study.Engine.Status())
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	err := study.RunContext(ctx)
+	close(done)
+	if err != nil {
+		if ctx.Err() != nil {
+			st := study.Engine.Status()
+			fmt.Fprintf(os.Stderr, "interrupted after %s: %s\n", time.Since(start).Round(time.Second), st)
+			if *ckptDir != "" && st.Done+st.Restored > 0 {
+				fmt.Fprintf(os.Stderr, "re-run with -resume -checkpoint-dir %s to continue\n", *ckptDir)
+			}
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
+
+	st = study.Engine.Status()
+	fmt.Fprintf(os.Stderr, "finished in %s: %s\n", time.Since(start).Round(time.Second), st)
+	fmt.Fprintf(os.Stderr, "collected %d trace records, %d snapshots, %d KB compressed\n",
+		study.TotalEvents(), len(study.Snapshots), study.Store.CompressedBytes()/1024)
+
+	if *hash {
+		for _, name := range study.Store.Machines() {
+			sum, err := study.Store.StreamSum(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%x  %s\n", sum, name)
+		}
+	}
+	if err := study.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saved corpus to %s\n", *out)
+}

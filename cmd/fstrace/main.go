@@ -29,6 +29,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "study seed (same seed ⇒ identical study)")
 		network  = flag.Bool("network", true, "mount per-user network shares over the redirector")
 		noFast   = flag.Bool("block-fastio", false, "insert an opaque filter that blocks FastIO (§10 ablation)")
+		workers  = flag.Int("workers", 1, "machine shards running concurrently (results are identical at any count)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		WithNetwork:     *network,
 		SnapshotAtStart: true,
 		FastIOBlocked:   *noFast,
+		Workers:         *workers,
 	})
 	fmt.Fprintf(os.Stderr, "running %d machines for %.1f simulated hours (seed %d)...\n",
 		*machines, *hours, *seed)

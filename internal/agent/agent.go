@@ -15,6 +15,11 @@ import (
 )
 
 // Sink receives trace buffers and snapshots on the collection side.
+//
+// When machines run on parallel fleet shards, one Sink is shared by every
+// agent, so implementations must be safe for concurrent use across
+// machines. Calls for a single machine always come from that machine's
+// shard goroutine, in virtual-time order.
 type Sink interface {
 	// TraceBuffer stores one shipped buffer for the named machine.
 	TraceBuffer(mch string, recs []tracefmt.Record)

@@ -1,6 +1,7 @@
 package collect
 
 import (
+	"errors"
 	"net"
 	"testing"
 
@@ -215,5 +216,94 @@ func TestServerRejectsBadMagic(t *testing.T) {
 	}
 	if store.TotalRecords() != 0 {
 		t.Error("records stored from bad stream")
+	}
+}
+
+func TestRecordsNoRecordsSentinel(t *testing.T) {
+	s := NewStore()
+	s.Append("m", mkRecs(10, 1))
+	s.Finalize()
+	_, err := s.Records("ghost")
+	if !errors.Is(err, ErrNoRecords) {
+		t.Errorf("Records(ghost) = %v, want ErrNoRecords", err)
+	}
+	// A state error (unfinalized stream) must NOT read as "no records":
+	// callers distinguish an empty machine from a broken store.
+	s2 := NewStore()
+	s2.Append("m", mkRecs(10, 1))
+	if _, err := s2.Records("m"); err == nil || errors.Is(err, ErrNoRecords) {
+		t.Errorf("Records before finalize = %v, want a non-sentinel error", err)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Append("m", mkRecs(400, 5))
+	s.Finalize()
+	data, count, err := s.ExportStream("m")
+	if err != nil || count != 400 {
+		t.Fatalf("ExportStream: count=%d err=%v", count, err)
+	}
+	want, err := s.StreamSum("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewStore()
+	if err := dst.ImportStream("m", data, count); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dst.StreamSum("m"); got != want {
+		t.Error("imported stream hash differs")
+	}
+	recs, err := dst.Records("m")
+	if err != nil || len(recs) != 400 {
+		t.Fatalf("imported records: %d, err=%v", len(recs), err)
+	}
+	if recs[0].FileID != 5 {
+		t.Error("imported record corrupt")
+	}
+	if err := dst.ImportStream("m", data, count); err == nil {
+		t.Error("import over an existing stream succeeded")
+	}
+	if err := dst.ImportStream("empty", nil, 0); err != nil {
+		t.Errorf("empty import: %v", err)
+	}
+	if dst.RecordCount("empty") != 0 {
+		t.Error("empty import created a stream")
+	}
+	if _, _, err := NewStore().ExportStream("m"); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("ExportStream of unknown machine = %v, want ErrNoRecords", err)
+	}
+}
+
+func TestFinalizeMachine(t *testing.T) {
+	s := NewStore()
+	s.Append("a", mkRecs(20, 1))
+	s.Append("b", mkRecs(30, 2))
+	if err := s.FinalizeMachine("a"); err != nil {
+		t.Fatal(err)
+	}
+	// a is readable while b still accepts appends.
+	if recs, err := s.Records("a"); err != nil || len(recs) != 20 {
+		t.Fatalf("a after FinalizeMachine: %d, err=%v", len(recs), err)
+	}
+	if err := s.Append("b", mkRecs(10, 3)); err != nil {
+		t.Errorf("append to b after finalizing a: %v", err)
+	}
+	if err := s.Append("a", mkRecs(10, 4)); err == nil {
+		t.Error("append to finalized a succeeded")
+	}
+	if err := s.FinalizeMachine("a"); err != nil {
+		t.Errorf("re-finalize: %v", err)
+	}
+	if err := s.FinalizeMachine("ghost"); err != nil {
+		t.Errorf("finalize of absent machine: %v", err)
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := s.Records("b"); len(recs) != 40 {
+		t.Errorf("b: %d records", len(recs))
 	}
 }

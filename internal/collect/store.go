@@ -9,6 +9,8 @@ package collect
 import (
 	"bytes"
 	"compress/flate"
+	"crypto/sha256"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -20,14 +22,23 @@ import (
 	"repro/internal/tracefmt"
 )
 
+// ErrNoRecords reports that a machine has no stored trace stream. It is
+// the expected outcome for a machine that legitimately produced no
+// records during a study; callers should test with errors.Is and treat
+// every other error from Records as a real decode/state failure.
+var ErrNoRecords = errors.New("collect: no records")
+
 // Store is a compressed, per-machine trace repository. It is safe for
-// concurrent use (agents stream concurrently in the networked setup).
+// concurrent use: the fleet engine runs machines on parallel shards, so
+// the map is guarded by one mutex and each stream by its own, keeping
+// compression of different machines' streams off a shared lock.
 type Store struct {
 	mu      sync.Mutex
 	streams map[string]*stream
 }
 
 type stream struct {
+	mu     sync.Mutex
 	buf    bytes.Buffer
 	zw     *flate.Writer
 	count  int
@@ -39,23 +50,34 @@ func NewStore() *Store {
 	return &Store{streams: map[string]*stream{}}
 }
 
+// get returns the named stream, creating it when create is set.
+func (s *Store) get(machine string, create bool) (*stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.streams[machine]
+	if st == nil && create {
+		st = &stream{}
+		zw, err := flate.NewWriter(&st.buf, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		st.zw = zw
+		s.streams[machine] = st
+	}
+	return st, nil
+}
+
 // Append compresses and stores records under the machine's stream.
 func (s *Store) Append(machine string, recs []tracefmt.Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.streams[machine]
-	if st == nil {
-		st = &stream{}
-		zw, err := flate.NewWriter(&st.buf, flate.BestSpeed)
-		if err != nil {
-			return err
-		}
-		st.zw = zw
-		s.streams[machine] = st
+	st, err := s.get(machine, true)
+	if err != nil {
+		return err
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.closed {
 		return fmt.Errorf("collect: stream %q already finalized", machine)
 	}
@@ -66,20 +88,45 @@ func (s *Store) Append(machine string, recs []tracefmt.Record) error {
 	return nil
 }
 
+// close flushes and seals one stream.
+func (st *stream) close(name string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	if err := st.zw.Close(); err != nil {
+		return fmt.Errorf("collect: finalize %q: %w", name, err)
+	}
+	st.closed = true
+	return nil
+}
+
 // Finalize flushes all compression streams; Append after Finalize fails.
 func (s *Store) Finalize() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	streams := make(map[string]*stream, len(s.streams))
 	for name, st := range s.streams {
-		if st.closed {
-			continue
+		streams[name] = st
+	}
+	s.mu.Unlock()
+	for name, st := range streams {
+		if err := st.close(name); err != nil {
+			return err
 		}
-		if err := st.zw.Close(); err != nil {
-			return fmt.Errorf("collect: finalize %q: %w", name, err)
-		}
-		st.closed = true
 	}
 	return nil
+}
+
+// FinalizeMachine seals one machine's stream so it can be read, hashed or
+// exported while other shards are still appending to theirs. Finalizing a
+// machine with no stream is a no-op.
+func (s *Store) FinalizeMachine(machine string) error {
+	st, _ := s.get(machine, false)
+	if st == nil {
+		return nil
+	}
+	return st.close(machine)
 }
 
 // Machines lists the machine names with stored streams, sorted.
@@ -96,21 +143,28 @@ func (s *Store) Machines() []string {
 
 // RecordCount returns the number of stored records for a machine.
 func (s *Store) RecordCount(machine string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if st := s.streams[machine]; st != nil {
-		return st.count
+	st, _ := s.get(machine, false)
+	if st == nil {
+		return 0
 	}
-	return 0
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.count
 }
 
 // TotalRecords sums record counts across machines.
 func (s *Store) TotalRecords() int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	total := 0
+	streams := make([]*stream, 0, len(s.streams))
 	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	total := 0
+	for _, st := range streams {
+		st.mu.Lock()
 		total += st.count
+		st.mu.Unlock()
 	}
 	return total
 }
@@ -118,29 +172,83 @@ func (s *Store) TotalRecords() int {
 // CompressedBytes reports the stored (compressed) size.
 func (s *Store) CompressedBytes() int64 {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var total int64
+	streams := make([]*stream, 0, len(s.streams))
 	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	var total int64
+	for _, st := range streams {
+		st.mu.Lock()
 		total += int64(st.buf.Len())
+		st.mu.Unlock()
 	}
 	return total
 }
 
-// Records decompresses and decodes one machine's stream. The store must
-// be finalized first.
+// Records decompresses and decodes one machine's stream. The stream must
+// be finalized first. A machine with no stream yields ErrNoRecords;
+// any other error is a state or decode failure.
 func (s *Store) Records(machine string) ([]tracefmt.Record, error) {
-	s.mu.Lock()
-	st := s.streams[machine]
-	s.mu.Unlock()
+	st, _ := s.get(machine, false)
 	if st == nil {
-		return nil, fmt.Errorf("collect: no stream for %q", machine)
+		return nil, fmt.Errorf("%w for machine %q", ErrNoRecords, machine)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if !st.closed {
 		return nil, fmt.Errorf("collect: stream %q not finalized", machine)
 	}
 	zr := flate.NewReader(bytes.NewReader(st.buf.Bytes()))
 	defer zr.Close()
 	return tracefmt.ReadAll(zr)
+}
+
+// ExportStream copies out one machine's finalized compressed stream and
+// its record count — the unit the fleet engine checkpoints.
+func (s *Store) ExportStream(machine string) ([]byte, int, error) {
+	st, _ := s.get(machine, false)
+	if st == nil {
+		return nil, 0, fmt.Errorf("%w for machine %q", ErrNoRecords, machine)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.closed {
+		return nil, 0, fmt.Errorf("collect: stream %q not finalized", machine)
+	}
+	out := make([]byte, st.buf.Len())
+	copy(out, st.buf.Bytes())
+	return out, st.count, nil
+}
+
+// ImportStream installs a finalized compressed stream under the machine's
+// name — the resume path of the fleet engine. Importing over an existing
+// stream fails; importing an empty stream is a no-op (the machine simply
+// has no records, matching a fresh run that produced none).
+func (s *Store) ImportStream(machine string, data []byte, count int) error {
+	if len(data) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.streams[machine]; ok {
+		return fmt.Errorf("collect: import: stream %q already exists", machine)
+	}
+	st := &stream{closed: true, count: count}
+	st.buf.Write(data)
+	s.streams[machine] = st
+	return nil
+}
+
+// StreamSum returns the SHA-256 of one machine's finalized compressed
+// stream. Equal sums mean byte-identical stored streams — the invariant
+// the fleet engine maintains across worker counts and resume.
+func (s *Store) StreamSum(machine string) ([sha256.Size]byte, error) {
+	data, _, err := s.ExportStream(machine)
+	if err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	return sha256.Sum256(data), nil
 }
 
 // AllRecords returns every machine's records keyed by machine name.
@@ -156,8 +264,8 @@ func (s *Store) AllRecords() (map[string][]tracefmt.Record, error) {
 	return out, nil
 }
 
-// safeName flattens a machine name into a file name.
-func safeName(machine string) string {
+// SafeName flattens a machine name into a file name.
+func SafeName(machine string) string {
 	return strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
@@ -175,27 +283,21 @@ func (s *Store) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.streams))
-	for name := range s.streams {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := s.Machines()
 	used := map[string]bool{}
 	for _, name := range names {
-		st := s.streams[name]
-		if !st.closed {
-			return fmt.Errorf("collect: stream %q not finalized", name)
+		data, _, err := s.ExportStream(name)
+		if err != nil {
+			return err
 		}
-		base := safeName(name)
+		base := SafeName(name)
 		file := base
 		for n := 2; used[file]; n++ {
 			file = fmt.Sprintf("%s-%d", base, n)
 		}
 		used[file] = true
 		path := filepath.Join(dir, file+".trz")
-		if err := os.WriteFile(path, st.buf.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return err
 		}
 	}
@@ -219,8 +321,6 @@ func LoadDir(dir string) (*Store, error) {
 			return nil, err
 		}
 		name := strings.TrimSuffix(e.Name(), ".trz")
-		st := &stream{closed: true}
-		st.buf.Write(data)
 		// Count records by streaming through the stream once, without
 		// materializing it.
 		zr := flate.NewReader(bytes.NewReader(data))
@@ -235,8 +335,9 @@ func LoadDir(dir string) (*Store, error) {
 			}
 		}
 		zr.Close()
-		st.count = rd.Count()
-		s.streams[name] = st
+		if err := s.ImportStream(name, data, rd.Count()); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }

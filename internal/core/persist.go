@@ -37,11 +37,11 @@ func (s *Study) Save(dir string) error {
 		return err
 	}
 	var man manifest
-	for _, n := range s.Nodes {
+	for i, sp := range s.specs {
 		man.Machines = append(man.Machines, manifestEntry{
-			Name:      n.M.Name,
-			Category:  uint8(n.M.Category),
-			ProcNames: n.M.ProcNames,
+			Name:      sp.name,
+			Category:  uint8(sp.cat),
+			ProcNames: s.procNames(i),
 		})
 	}
 	data, err := json.MarshalIndent(man, "", " ")
@@ -68,15 +68,7 @@ func (s *Study) Save(dir string) error {
 	return nil
 }
 
-func safe(s string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
-			return r
-		}
-		return '_'
-	}, s)
-}
+func safe(s string) string { return collect.SafeName(s) }
 
 // Load reads a saved study directory back into an analysis corpus and its
 // snapshots.

@@ -2,16 +2,25 @@
 // a fleet of simulated Windows NT 4.0 machines across the five usage
 // categories, each with generated file-system content, a category-matched
 // workload, a trace agent shipping filter-driver records to an in-process
-// collection store, and daily snapshots — runs it on one shared virtual
-// clock, and hands the collected corpus to the analysis layer.
+// collection store, and daily snapshots — and hands the collected corpus
+// to the analysis layer. Execution is delegated to the sharded fleet
+// engine: each machine runs on its own scheduler shard with a pre-forked
+// RNG stream, so the fleet can run across a worker pool (and stop/resume
+// from checkpoints) while the same seed yields byte-identical per-machine
+// trace stores at any worker count.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
+	"sync"
 
 	"repro/internal/agent"
 	"repro/internal/analysis"
 	"repro/internal/collect"
+	"repro/internal/fleet"
 	"repro/internal/fsgen"
 	"repro/internal/ntos/filter"
 	"repro/internal/ntos/irp"
@@ -43,6 +52,18 @@ type Config struct {
 	FastIOBlocked bool
 	// CacheBytes overrides the per-machine file-cache size (0 = default).
 	CacheBytes int64
+
+	// Workers is how many machine shards run concurrently (0 or 1 =
+	// sequential). Per-machine trace streams are byte-identical at any
+	// worker count — the shard decomposition and RNG split never depend
+	// on it.
+	Workers int
+	// CheckpointDir, when set, persists each completed machine so a
+	// killed run can resume.
+	CheckpointDir string
+	// Resume loads matching checkpoints from CheckpointDir instead of
+	// re-running those machines.
+	Resume bool
 }
 
 // categoryMix is the §2 fleet composition, proportions of 45.
@@ -57,43 +78,115 @@ var categoryMix = []struct {
 	{machine.Scientific, 4},
 }
 
-// Node is one machine with its apparatus.
+// Node is one machine with its apparatus. A machine restored from a
+// checkpoint has no live apparatus: M (and the other pointers) are nil
+// and only its collected streams/snapshots exist.
 type Node struct {
 	M       *machine.Machine
+	Sched   *sim.Scheduler
 	Agent   *agent.Agent
 	Driver  *workload.Driver
 	Layout  *fsgen.Layout
 	Share   *fsgen.Layout
 	ShareFS *machine.Vol
+	// Restored marks a node loaded from a fleet checkpoint.
+	Restored bool
+}
+
+// spec is one planned machine of the fleet.
+type spec struct {
+	name string
+	cat  machine.Category
 }
 
 // Study is one complete simulated trace collection.
 type Study struct {
 	Cfg   Config
-	Sched *sim.Scheduler
 	Nodes []*Node
 
+	// Engine is the sharded fleet-execution engine driving the run; its
+	// Status method is the live progress surface.
+	Engine *fleet.Engine
 	// Store is the in-process collection server state.
 	Store *collect.Store
-	// Snapshots collects the agents' daily walks.
+	// Snapshots collects the agents' daily walks (merged in machine
+	// order after Run).
 	Snapshots []*snapshot.Snapshot
 
-	ran bool
+	specs    []spec
+	restored []*fleet.Restored
+	ran      bool
 }
 
-// sink adapts the Study to agent.Sink.
-type sink struct{ s *Study }
-
-func (k sink) TraceBuffer(mch string, recs []tracefmt.Record) {
-	// Errors cannot occur before Finalize; ignore deliberately.
-	_ = k.s.Store.Append(mch, recs)
+// fleetSpecs lays out the machine fleet: the paper's 45-machine category
+// mix scaled to the requested size.
+func fleetSpecs(machines int) []spec {
+	total := 0
+	for _, mix := range categoryMix {
+		total += mix.count
+	}
+	var specs []spec
+	for _, mix := range categoryMix {
+		// Scale the paper's 45-machine mix to the requested fleet size.
+		n := (mix.count*machines + total/2) / total
+		if n == 0 && machines >= len(categoryMix) {
+			n = 1
+		}
+		for i := 0; i < n && len(specs) < machines; i++ {
+			specs = append(specs, spec{fmt.Sprintf("%s-%02d", mix.cat, i+1), mix.cat})
+		}
+	}
+	// Top up with personal machines if rounding fell short.
+	for len(specs) < machines {
+		specs = append(specs, spec{fmt.Sprintf("personal-x%02d", len(specs)), machine.Personal})
+	}
+	return specs
 }
 
-func (k sink) Snapshot(snap *snapshot.Snapshot) {
-	k.s.Snapshots = append(k.s.Snapshots, snap)
+// userAbbrev maps each category name-prefix to a distinct two-letter
+// code. User names must stay as short as the study's real logins: they
+// appear in profile and share paths, and the trace format stores names in
+// a 64-byte short form (tracefmt.NameLen) — a long user name would push
+// deep paths (web cache, profiles) past the cap and make distinct files
+// collide onto one truncated name.
+var userAbbrev = map[string]string{
+	"walk-up":        "wu",
+	"pool":           "po",
+	"personal":       "pe",
+	"administrative": "ad",
+	"scientific":     "sc",
+}
+
+// userName derives the profile owner from the full machine name, so every
+// machine gets a distinct user. (Slicing the trailing digits collided:
+// top-up "personal-x01" and regular "personal-01" — and every category's
+// "-01" machine — all mapped to "user01".) The category prefix is
+// abbreviated, keeping the name within the era's login-length norms and
+// the trace format's short-form path budget; the per-category ordinal is
+// preserved verbatim, so distinct machines always get distinct users.
+func userName(machineName string) string {
+	if i := strings.LastIndexByte(machineName, '-'); i > 0 {
+		if code, ok := userAbbrev[machineName[:i]]; ok {
+			return "u" + code + machineName[i+1:]
+		}
+	}
+	return "u-" + machineName
+}
+
+// fingerprint digests everything that determines one machine's trace
+// stream, guarding checkpoints against configuration drift.
+func (cfg Config) fingerprint(sp spec) string {
+	return fmt.Sprintf("v1 seed=%d dur=%d machines=%d net=%t snap0=%t fastio=%t cache=%d name=%s cat=%d",
+		cfg.Seed, cfg.Duration, cfg.Machines, cfg.WithNetwork, cfg.SnapshotAtStart,
+		cfg.FastIOBlocked, cfg.CacheBytes, sp.name, sp.cat)
 }
 
 // NewStudy builds the fleet. Call Run, then DataSet or Results.
+//
+// Construction is deterministic and parallel: per-machine RNG streams are
+// split from the seed in index order first, then machines are built
+// concurrently (they share no mutable state until their agents reach the
+// thread-safe collection store).
 func NewStudy(cfg Config) *Study {
 	if cfg.Machines <= 0 {
 		cfg.Machines = 45
@@ -103,40 +196,82 @@ func NewStudy(cfg Config) *Study {
 	}
 	s := &Study{
 		Cfg:   cfg,
-		Sched: sim.NewScheduler(),
 		Store: collect.NewStore(),
 	}
-	root := sim.NewRNG(cfg.Seed)
+	s.Engine = fleet.New(fleet.Config{
+		Duration:      cfg.Duration,
+		Workers:       cfg.Workers,
+		CheckpointDir: cfg.CheckpointDir,
+	}, s.Store)
 
-	total := 0
-	for _, mix := range categoryMix {
-		total += mix.count
-	}
-	idx := 0
-	for _, mix := range categoryMix {
-		// Scale the paper's 45-machine mix to the requested fleet size.
-		n := (mix.count*cfg.Machines + total/2) / total
-		if n == 0 && cfg.Machines >= len(categoryMix) {
-			n = 1
+	s.specs = fleetSpecs(cfg.Machines)
+	rngs := sim.NewRNG(cfg.Seed).Split(len(s.specs))
+	s.Nodes = make([]*Node, len(s.specs))
+	s.restored = make([]*fleet.Restored, len(s.specs))
+
+	// Resume pass: machines with a valid checkpoint need no apparatus.
+	var build []int
+	for i := range s.specs {
+		if cfg.Resume && cfg.CheckpointDir != "" {
+			if res, ok := s.Engine.Restore(s.fleetSpec(i)); ok {
+				s.restored[i] = res
+				s.Nodes[i] = &Node{Restored: true}
+				continue
+			}
 		}
-		for i := 0; i < n && idx < cfg.Machines; i++ {
-			s.addNode(fmt.Sprintf("%s-%02d", mix.cat, i+1), mix.cat, root.Fork(uint64(idx)+1))
-			idx++
-		}
+		build = append(build, i)
 	}
-	// Top up with personal machines if rounding fell short.
-	for idx < cfg.Machines {
-		s.addNode(fmt.Sprintf("personal-x%02d", idx), machine.Personal, root.Fork(uint64(idx)+1))
-		idx++
+
+	// Build pass, parallel across the worker budget.
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(build) {
+		workers = len(build)
+	}
+	if workers <= 1 {
+		for _, i := range build {
+			s.buildNode(i, rngs[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					s.buildNode(i, rngs[i])
+				}
+			}()
+		}
+		for _, i := range build {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
 	return s
 }
 
-func (s *Study) addNode(name string, cat machine.Category, rng *sim.RNG) {
-	node := &Node{}
-	m := machine.New(s.Sched, rng.Fork(1), machine.Config{
-		Name:       name,
-		Category:   cat,
+func (s *Study) fleetSpec(i int) fleet.Spec {
+	return fleet.Spec{
+		Index:       i,
+		Name:        s.specs[i].name,
+		Fingerprint: s.Cfg.fingerprint(s.specs[i]),
+	}
+}
+
+// buildNode assembles machine i's full apparatus on its own scheduler
+// shard and registers it with the fleet engine.
+func (s *Study) buildNode(idx int, rng *sim.RNG) {
+	sp := s.specs[idx]
+	sched := sim.NewScheduler()
+	node := &Node{Sched: sched}
+	m := machine.New(sched, rng.Fork(1), machine.Config{
+		Name:       sp.name,
+		Category:   sp.cat,
 		CacheBytes: s.Cfg.CacheBytes,
 		TraceFlush: func(recs []tracefmt.Record) {
 			if node.Agent != nil {
@@ -149,7 +284,7 @@ func (s *Study) addNode(name string, cat machine.Category, rng *sim.RNG) {
 	// Local volume: scientific machines get SCSI, the rest IDE (§2);
 	// roughly a fifth of local volumes were FAT-formatted in the era.
 	geo := volume.IDE1998
-	if cat == machine.Scientific {
+	if sp.cat == machine.Scientific {
 		geo = volume.SCSI1998
 	}
 	flavor := volume.FlavorNTFS
@@ -158,9 +293,9 @@ func (s *Study) addNode(name string, cat machine.Category, rng *sim.RNG) {
 	}
 	m.AddVolume(`C:`, geo, flavor, false)
 
-	user := fmt.Sprintf("user%s", name[len(name)-2:])
+	user := userName(sp.name)
 	node.Layout = fsgen.PopulateLocal(m.SystemVolume().FS, rng.Fork(2), fsgen.Config{
-		User: user, Category: cat, Now: 0,
+		User: user, Category: sp.cat, Now: 0,
 	})
 
 	if s.Cfg.WithNetwork {
@@ -178,52 +313,83 @@ func (s *Study) addNode(name string, cat machine.Category, rng *sim.RNG) {
 	}
 
 	m.Start()
-	node.Agent = agent.New(m, sink{s})
+	node.Agent = agent.New(m, s.Engine)
 	node.Driver = workload.Install(m, node.Layout, rng.Fork(4))
 	if node.Share != nil {
 		p := workload.NewProc(m, "shareuser", `\\fs\`+user, rng.Fork(5))
 		node.Driver.AddApp(workload.NewShareUser(p, node.Share))
 	}
-	s.Nodes = append(s.Nodes, node)
+	s.Nodes[idx] = node
+
+	// Names are unique by construction, so Add cannot fail here.
+	_ = s.Engine.Add(s.fleetSpec(idx), sched, fleet.Hooks{
+		Start: func() {
+			node.Agent.Start()
+			if s.Cfg.SnapshotAtStart {
+				node.Agent.TakeSnapshots()
+			}
+			node.Driver.Start()
+		},
+		Finish: func() {
+			node.Driver.Stop()
+			node.Agent.TakeSnapshots() // closing snapshot
+			node.Agent.Stop()
+			node.M.Stop()
+		},
+		ProcNames: func() map[uint32]string { return node.M.ProcNames },
+	})
 }
 
 // Run executes the study to its configured duration and finalizes the
 // collection store. It is idempotent.
-func (s *Study) Run() error {
+func (s *Study) Run() error { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: when ctx is cancelled the fleet
+// stops at the next shard slice boundary, completed machines keep their
+// checkpoints (when CheckpointDir is set), and a new Study with Resume
+// continues from there.
+func (s *Study) RunContext(ctx context.Context) error {
 	if s.ran {
 		return nil
 	}
 	s.ran = true
-	for _, n := range s.Nodes {
-		n.Agent.Start()
-		if s.Cfg.SnapshotAtStart {
-			n.Agent.TakeSnapshots()
-		}
-		n.Driver.Start()
+	if err := s.Engine.Run(ctx); err != nil {
+		return err
 	}
-	s.Sched.RunUntil(sim.Time(s.Cfg.Duration))
-	for _, n := range s.Nodes {
-		n.Driver.Stop()
-		n.Agent.TakeSnapshots() // closing snapshot
-		n.Agent.Stop()
-		n.M.Stop()
+	if err := s.Store.Finalize(); err != nil {
+		return err
 	}
-	// Let the final flush shipments land.
-	s.Sched.RunUntil(s.Sched.Now().Add(sim.Minute))
-	return s.Store.Finalize()
+	s.Snapshots = s.Engine.Snapshots()
+	return nil
 }
 
-// DataSet decodes the collected store into the analysis corpus.
+// procNames returns machine i's pid→image dimension, live or restored.
+func (s *Study) procNames(i int) map[uint32]string {
+	if n := s.Nodes[i]; n != nil && n.M != nil {
+		return n.M.ProcNames
+	}
+	if r := s.restored[i]; r != nil {
+		return r.ProcNames
+	}
+	return nil
+}
+
+// DataSet decodes the collected store into the analysis corpus. A machine
+// that produced no records is skipped; any other store failure (decode
+// errors, unfinalized streams) propagates.
 func (s *Study) DataSet() (*analysis.DataSet, error) {
 	ds := &analysis.DataSet{}
-	for _, n := range s.Nodes {
-		recs, err := s.Store.Records(n.M.Name)
-		if err != nil {
+	for i, sp := range s.specs {
+		recs, err := s.Store.Records(sp.name)
+		if errors.Is(err, collect.ErrNoRecords) {
 			// A machine may legitimately have produced no records.
 			continue
 		}
-		mt := analysis.NewMachineTrace(n.M.Name, n.M.Category, recs)
-		mt.ProcNames = n.M.ProcNames
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", sp.name, err)
+		}
+		mt := analysis.NewMachineTrace(sp.name, sp.cat, recs)
+		mt.ProcNames = s.procNames(i)
 		ds.Machines = append(ds.Machines, mt)
 	}
 	if len(ds.Machines) == 0 {

@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/collect"
+	"repro/internal/snapshot"
+)
+
+// A checkpoint is one completed shard on disk: a small JSON header
+// (machine identity, fingerprint, record count, process-name dimension),
+// the machine's finalized compressed trace stream verbatim, and its
+// snapshots. The stream bytes are stored exactly as the collect.Store
+// holds them, so restore is an import, not a re-compression — the
+// byte-identical-store invariant survives kill/resume.
+//
+// Layout: magic, then length-prefixed sections
+//
+//	"FSFLEET1" | u32 len + header JSON | u64 len + stream | u32 snapCount
+//	| per snapshot: u64 len + snapshot JSON
+//
+// Files are written to <name>.ckpt.tmp and renamed into place, so a kill
+// mid-write leaves no valid-looking partial checkpoint; loaders treat any
+// malformed file as "not checkpointed" and re-run the machine.
+
+const ckptMagic = "FSFLEET1"
+
+type ckptHeader struct {
+	Name        string            `json:"name"`
+	Fingerprint string            `json:"fingerprint"`
+	Records     int               `json:"records"`
+	ProcNames   map[uint32]string `json:"proc_names,omitempty"`
+}
+
+type checkpoint struct {
+	Name        string
+	Fingerprint string
+	Records     int
+	ProcNames   map[uint32]string
+	Stream      []byte
+	Snapshots   []*snapshot.Snapshot
+}
+
+func checkpointPath(dir, machine string) string {
+	return filepath.Join(dir, collect.SafeName(machine)+".ckpt")
+}
+
+// writeCheckpoint persists a completed shard atomically.
+func (e *Engine) writeCheckpoint(sh *shard) error {
+	stream, count, err := e.store.ExportStream(sh.spec.Name)
+	if err != nil && !errors.Is(err, collect.ErrNoRecords) {
+		return err
+	}
+	if err := os.MkdirAll(e.cfg.CheckpointDir, 0o755); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(ckptMagic)
+	head, err := json.Marshal(ckptHeader{
+		Name:        sh.spec.Name,
+		Fingerprint: sh.spec.Fingerprint,
+		Records:     count,
+		ProcNames:   sh.procNames,
+	})
+	if err != nil {
+		return err
+	}
+	binary.Write(&buf, binary.LittleEndian, uint32(len(head)))
+	buf.Write(head)
+	binary.Write(&buf, binary.LittleEndian, uint64(len(stream)))
+	buf.Write(stream)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(sh.snaps)))
+	for _, snap := range sh.snaps {
+		var sb bytes.Buffer
+		if err := snap.Write(&sb); err != nil {
+			return err
+		}
+		binary.Write(&buf, binary.LittleEndian, uint64(sb.Len()))
+		buf.Write(sb.Bytes())
+	}
+	final := checkpointPath(e.cfg.CheckpointDir, sh.spec.Name)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// loadCheckpoint reads and validates one checkpoint file. Any structural
+// problem or fingerprint mismatch is an error; callers treat every error
+// as "re-run this machine".
+func loadCheckpoint(path, fingerprint string) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != ckptMagic {
+		return nil, fmt.Errorf("fleet: %s: bad magic", path)
+	}
+	var headLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &headLen); err != nil {
+		return nil, err
+	}
+	head := make([]byte, headLen)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	var h ckptHeader
+	if err := json.Unmarshal(head, &h); err != nil {
+		return nil, fmt.Errorf("fleet: %s: header: %w", path, err)
+	}
+	if h.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("fleet: %s: fingerprint mismatch (checkpoint from a different study configuration)", path)
+	}
+	var streamLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &streamLen); err != nil {
+		return nil, err
+	}
+	if streamLen > uint64(r.Len()) {
+		return nil, fmt.Errorf("fleet: %s: truncated stream", path)
+	}
+	stream := make([]byte, streamLen)
+	if _, err := io.ReadFull(r, stream); err != nil {
+		return nil, err
+	}
+	var snapCount uint32
+	if err := binary.Read(r, binary.LittleEndian, &snapCount); err != nil {
+		return nil, err
+	}
+	ck := &checkpoint{
+		Name:        h.Name,
+		Fingerprint: h.Fingerprint,
+		Records:     h.Records,
+		ProcNames:   h.ProcNames,
+		Stream:      stream,
+	}
+	for i := uint32(0); i < snapCount; i++ {
+		var snapLen uint64
+		if err := binary.Read(r, binary.LittleEndian, &snapLen); err != nil {
+			return nil, err
+		}
+		if snapLen > uint64(r.Len()) {
+			return nil, fmt.Errorf("fleet: %s: truncated snapshot", path)
+		}
+		raw := make([]byte, snapLen)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, err
+		}
+		snap, err := snapshot.Read(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %s: snapshot %d: %w", path, i, err)
+		}
+		ck.Snapshots = append(ck.Snapshots, snap)
+	}
+	return ck, nil
+}

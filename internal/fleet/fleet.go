@@ -1,0 +1,357 @@
+// Package fleet is the sharded fleet-execution engine. The paper's study
+// is 45 machines traced for 4 weeks (~190M records); running that fleet on
+// one shared event scheduler uses a single core and must finish in one
+// shot. Machines interact only through the collection sink, so each one
+// can run on its own private scheduler ("shard") with a pre-forked RNG
+// stream: the engine partitions the fleet across a worker pool, merges
+// trace streams into the thread-safe collect.Store, checkpoints each
+// completed shard so a long run can stop and resume, and exposes a live
+// progress surface (events/sec, sim:real ratio, per-shard lag).
+//
+// The engine's core invariant: the shard decomposition is fixed per
+// machine and never depends on the worker count, and every shard's RNG is
+// split from the study seed in index order before any shard runs — so the
+// same seed yields byte-identical per-machine stores at any worker count,
+// and a resumed run converges to the same final store as an uninterrupted
+// one.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/tracefmt"
+)
+
+// Spec identifies one shard of the fleet. Fingerprint is an opaque digest
+// of everything that determines the shard's trace stream (seed, duration,
+// fleet composition, machine knobs); checkpoints carry it so a resume
+// never mixes streams from different configurations.
+type Spec struct {
+	Index       int
+	Name        string
+	Fingerprint string
+}
+
+// Hooks are the lifecycle callbacks of one shard's machine apparatus.
+// They run on the shard's worker goroutine against its private scheduler.
+type Hooks struct {
+	// Start begins tracing and workload (agent start, optional opening
+	// snapshot, workload driver start).
+	Start func()
+	// Finish stops the workload, takes the closing snapshot and halts the
+	// machine. The engine then drains the scheduler briefly so final
+	// trace-buffer flushes land.
+	Finish func()
+	// ProcNames reports the machine's pid→image dimension for results and
+	// checkpoints. May be nil.
+	ProcNames func() map[uint32]string
+}
+
+// Config parameterises the engine.
+type Config struct {
+	// Duration is the traced period each shard runs.
+	Duration sim.Duration
+	// Workers is the number of shards executing concurrently (<=1 runs
+	// sequentially; results are identical either way).
+	Workers int
+	// CheckpointDir, when set, persists each completed shard so a killed
+	// run can resume. Checkpoints are written atomically per machine.
+	CheckpointDir string
+	// Slice is the progress/cancellation granularity of a shard's run
+	// (default 15 simulated minutes). Slicing RunUntil is semantically
+	// identical to one long run; it only bounds how stale the progress
+	// surface can be and how long cancellation takes.
+	Slice sim.Duration
+	// Drain is the extra virtual time run after Finish so final flush
+	// shipments land (default 1 simulated minute).
+	Drain sim.Duration
+}
+
+// shard states.
+const (
+	statePending int32 = iota
+	stateRunning
+	stateDone
+	stateRestored
+	stateFailed
+)
+
+var stateNames = [...]string{"pending", "running", "done", "restored", "failed"}
+
+type shard struct {
+	spec  Spec
+	sched *sim.Scheduler
+	hooks Hooks
+
+	state   atomic.Int32
+	simNow  atomic.Int64  // virtual clock, ticks
+	events  atomic.Uint64 // scheduler events run
+	records atomic.Int64  // trace records collected
+	started atomic.Int64  // wall time, unix nanos (0 = not started)
+	ended   atomic.Int64
+
+	appendMu  sync.Mutex
+	appendErr error
+
+	// Written by the owning worker (or Restore) and read after Run.
+	snaps     []*snapshot.Snapshot
+	procNames map[uint32]string
+}
+
+// Restored is what a checkpoint gives back for a completed shard.
+type Restored struct {
+	Records   int
+	ProcNames map[uint32]string
+	Snapshots []*snapshot.Snapshot
+}
+
+// Engine executes a fleet of shards over a worker pool.
+type Engine struct {
+	cfg   Config
+	store *collect.Store
+
+	mu     sync.Mutex
+	shards []*shard
+	byName map[string]*shard
+	sorted bool
+}
+
+// New creates an engine merging into store.
+func New(cfg Config, store *collect.Store) *Engine {
+	if cfg.Slice <= 0 {
+		cfg.Slice = 15 * sim.Minute
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = sim.Minute
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &Engine{cfg: cfg, store: store, byName: map[string]*shard{}}
+}
+
+// Store returns the engine's collection store.
+func (e *Engine) Store() *collect.Store { return e.store }
+
+// Add registers a live shard: its private scheduler and lifecycle hooks.
+// Safe to call from parallel builders; shards are ordered by Spec.Index
+// regardless of registration order.
+func (e *Engine) Add(spec Spec, sched *sim.Scheduler, hooks Hooks) error {
+	sh := &shard{spec: spec, sched: sched, hooks: hooks}
+	return e.register(sh)
+}
+
+func (e *Engine) register(sh *shard) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.byName[sh.spec.Name]; dup {
+		return fmt.Errorf("fleet: duplicate shard %q", sh.spec.Name)
+	}
+	e.shards = append(e.shards, sh)
+	e.byName[sh.spec.Name] = sh
+	e.sorted = false
+	return nil
+}
+
+// Restore attempts to load a completed shard from the checkpoint
+// directory. On success the stream is imported into the store and the
+// shard is registered as already done; a missing, corrupt or
+// fingerprint-mismatched checkpoint returns false and the caller builds
+// and runs the shard normally — so a checkpoint killed mid-write simply
+// re-runs its machine.
+func (e *Engine) Restore(spec Spec) (*Restored, bool) {
+	if e.cfg.CheckpointDir == "" {
+		return nil, false
+	}
+	ck, err := loadCheckpoint(checkpointPath(e.cfg.CheckpointDir, spec.Name), spec.Fingerprint)
+	if err != nil {
+		return nil, false
+	}
+	if err := e.store.ImportStream(spec.Name, ck.Stream, ck.Records); err != nil {
+		return nil, false
+	}
+	sh := &shard{spec: spec, snaps: ck.Snapshots, procNames: ck.ProcNames}
+	sh.state.Store(stateRestored)
+	sh.records.Store(int64(ck.Records))
+	sh.simNow.Store(int64(e.cfg.Duration))
+	if err := e.register(sh); err != nil {
+		return nil, false
+	}
+	return &Restored{Records: ck.Records, ProcNames: ck.ProcNames, Snapshots: ck.Snapshots}, true
+}
+
+// TraceBuffer implements agent.Sink: records merge into the shared store
+// and count toward the shard's progress.
+func (e *Engine) TraceBuffer(mch string, recs []tracefmt.Record) {
+	err := e.store.Append(mch, recs)
+	sh := e.lookup(mch)
+	if sh == nil {
+		return
+	}
+	if err != nil {
+		sh.appendMu.Lock()
+		if sh.appendErr == nil {
+			sh.appendErr = err
+		}
+		sh.appendMu.Unlock()
+		return
+	}
+	sh.records.Add(int64(len(recs)))
+}
+
+// Snapshot implements agent.Sink: daily walks collect per shard and merge
+// in machine order after the run.
+func (e *Engine) Snapshot(snap *snapshot.Snapshot) {
+	if sh := e.lookup(snap.Machine); sh != nil {
+		sh.snaps = append(sh.snaps, snap)
+	}
+}
+
+func (e *Engine) lookup(name string) *shard {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.byName[name]
+}
+
+// ordered returns shards sorted by index.
+func (e *Engine) ordered() []*shard {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.sorted {
+		for i := 1; i < len(e.shards); i++ {
+			for j := i; j > 0 && e.shards[j-1].spec.Index > e.shards[j].spec.Index; j-- {
+				e.shards[j-1], e.shards[j] = e.shards[j], e.shards[j-1]
+			}
+		}
+		e.sorted = true
+	}
+	out := make([]*shard, len(e.shards))
+	copy(out, e.shards)
+	return out
+}
+
+// Run executes every live shard across the worker pool. It returns the
+// first shard error, or ctx.Err() if cancelled — in which case completed
+// shards have already checkpointed (when a checkpoint dir is set) and a
+// fresh engine with Restore picks up where this one stopped.
+func (e *Engine) Run(ctx context.Context) error {
+	var queue []*shard
+	for _, sh := range e.ordered() {
+		if sh.state.Load() == statePending {
+			queue = append(queue, sh)
+		}
+	}
+	workers := e.cfg.Workers
+	if workers > len(queue) {
+		workers = len(queue)
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if int(i) >= len(queue) || ctx.Err() != nil {
+					return
+				}
+				if err := e.runShard(ctx, queue[i]); err != nil {
+					errOnce.Do(func() { runErr = err })
+					if ctx.Err() == nil {
+						return // shard failure: stop this worker, surface the error
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return runErr
+	}
+	return ctx.Err()
+}
+
+// runShard drives one machine from virtual time zero to the configured
+// duration in slices, then finalizes and checkpoints it.
+func (e *Engine) runShard(ctx context.Context, sh *shard) error {
+	sh.started.Store(time.Now().UnixNano())
+	sh.state.Store(stateRunning)
+	if sh.hooks.Start != nil {
+		sh.hooks.Start()
+	}
+	deadline := sim.Time(e.cfg.Duration)
+	for t := sim.Time(0); t < deadline; {
+		if err := ctx.Err(); err != nil {
+			sh.state.Store(statePending) // not checkpointed; a resume re-runs it
+			return err
+		}
+		t = t.Add(e.cfg.Slice)
+		if t > deadline {
+			t = deadline
+		}
+		sh.sched.RunUntil(t)
+		sh.simNow.Store(int64(sh.sched.Now()))
+		sh.events.Store(sh.sched.Ran())
+	}
+	if sh.hooks.Finish != nil {
+		sh.hooks.Finish()
+	}
+	sh.sched.RunUntil(deadline.Add(e.cfg.Drain))
+	sh.simNow.Store(int64(deadline))
+	sh.events.Store(sh.sched.Ran())
+
+	sh.appendMu.Lock()
+	appendErr := sh.appendErr
+	sh.appendMu.Unlock()
+	if appendErr != nil {
+		sh.state.Store(stateFailed)
+		return fmt.Errorf("fleet: shard %q: %w", sh.spec.Name, appendErr)
+	}
+	if err := e.store.FinalizeMachine(sh.spec.Name); err != nil {
+		sh.state.Store(stateFailed)
+		return fmt.Errorf("fleet: shard %q: %w", sh.spec.Name, err)
+	}
+	if sh.hooks.ProcNames != nil {
+		sh.procNames = sh.hooks.ProcNames()
+	}
+	if e.cfg.CheckpointDir != "" {
+		if err := e.writeCheckpoint(sh); err != nil {
+			sh.state.Store(stateFailed)
+			return fmt.Errorf("fleet: checkpoint %q: %w", sh.spec.Name, err)
+		}
+	}
+	sh.ended.Store(time.Now().UnixNano())
+	sh.state.Store(stateDone)
+	return nil
+}
+
+// Snapshots merges every shard's snapshots in machine (index) order.
+func (e *Engine) Snapshots() []*snapshot.Snapshot {
+	var out []*snapshot.Snapshot
+	for _, sh := range e.ordered() {
+		out = append(out, sh.snaps...)
+	}
+	return out
+}
+
+// ProcNames returns the pid→image dimension recorded for a machine (from
+// its run or its checkpoint), or nil.
+func (e *Engine) ProcNames(name string) map[uint32]string {
+	if sh := e.lookup(name); sh != nil {
+		return sh.procNames
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ShardStatus is one shard's live progress.
+type ShardStatus struct {
+	Name    string
+	State   string
+	SimNow  sim.Time
+	Events  uint64
+	Records int64
+	// Wall is the shard's wall-clock run time so far (or total, once done).
+	Wall time.Duration
+	// Lag is how much virtual time the shard still has to cover.
+	Lag sim.Duration
+}
+
+// Status is a point-in-time view of the whole fleet's progress.
+type Status struct {
+	Shards   []ShardStatus
+	Duration sim.Duration
+
+	Pending, Running, Done, Restored, Failed int
+
+	Records int64
+	Events  uint64
+	// EventsPerSec is aggregate scheduler throughput over the wall time of
+	// shards that have run so far.
+	EventsPerSec float64
+	// SimRatio is virtual seconds advanced per wall second, aggregated.
+	SimRatio float64
+	// MaxLag is the largest remaining virtual time over unfinished shards.
+	MaxLag sim.Duration
+	// Slowest names the shard with the largest lag among running shards.
+	Slowest string
+}
+
+// Status samples every shard's counters. Safe to call concurrently with
+// Run; counters are at most one slice stale.
+func (e *Engine) Status() Status {
+	now := time.Now().UnixNano()
+	st := Status{Duration: e.cfg.Duration}
+	var wallNanos int64
+	var simAdvanced sim.Duration
+	for _, sh := range e.ordered() {
+		s := ShardStatus{
+			Name:    sh.spec.Name,
+			State:   stateNames[sh.state.Load()],
+			SimNow:  sim.Time(sh.simNow.Load()),
+			Events:  sh.events.Load(),
+			Records: sh.records.Load(),
+		}
+		if start := sh.started.Load(); start != 0 {
+			end := sh.ended.Load()
+			if end == 0 {
+				end = now
+			}
+			s.Wall = time.Duration(end - start)
+		}
+		if remain := e.cfg.Duration - sim.Duration(s.SimNow); remain > 0 {
+			s.Lag = remain
+		}
+		switch s.State {
+		case "pending":
+			st.Pending++
+		case "running":
+			st.Running++
+			if s.Lag >= st.MaxLag {
+				st.MaxLag = s.Lag
+				st.Slowest = s.Name
+			}
+		case "done":
+			st.Done++
+		case "restored":
+			st.Restored++
+		case "failed":
+			st.Failed++
+		}
+		if s.State != "restored" {
+			st.Events += s.Events
+			wallNanos += int64(s.Wall)
+			simAdvanced += sim.Duration(s.SimNow)
+		}
+		st.Records += s.Records
+		st.Shards = append(st.Shards, s)
+	}
+	if wallNanos > 0 {
+		wallSec := float64(wallNanos) / float64(time.Second)
+		st.EventsPerSec = float64(st.Events) / wallSec
+		st.SimRatio = simAdvanced.Seconds() / wallSec
+	}
+	return st
+}
+
+// String renders a one-line progress summary for CLIs.
+func (s Status) String() string {
+	var b strings.Builder
+	total := len(s.Shards)
+	fmt.Fprintf(&b, "shards %d/%d done", s.Done+s.Restored, total)
+	if s.Restored > 0 {
+		fmt.Fprintf(&b, " (%d restored)", s.Restored)
+	}
+	if s.Running > 0 {
+		fmt.Fprintf(&b, ", %d running", s.Running)
+	}
+	if s.Failed > 0 {
+		fmt.Fprintf(&b, ", %d FAILED", s.Failed)
+	}
+	fmt.Fprintf(&b, " | %d records, %d events", s.Records, s.Events)
+	if s.EventsPerSec > 0 {
+		fmt.Fprintf(&b, " | %.0f ev/s, sim:real %.0fx", s.EventsPerSec, s.SimRatio)
+	}
+	if s.Running > 0 && s.Slowest != "" {
+		fmt.Fprintf(&b, " | slowest %s lag %s", s.Slowest, s.MaxLag)
+	}
+	return b.String()
+}

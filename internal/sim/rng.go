@@ -39,6 +39,18 @@ func (r *RNG) Fork(id uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (id * 0x9e3779b97f4a7c15) ^ 0xd1b54a32d192ed03)
 }
 
+// Split derives n independent streams in index order, equivalent to
+// calling Fork(1)..Fork(n) sequentially. The fleet engine pre-splits the
+// study seed this way so that shards can then run in any order — or in
+// parallel — without perturbing each other's sequences.
+func (r *RNG) Split(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Fork(uint64(i) + 1)
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

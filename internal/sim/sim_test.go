@@ -305,3 +305,30 @@ func TestEventQueueLargeLoad(t *testing.T) {
 		t.Errorf("ran %d events, want %d", s.Ran(), n)
 	}
 }
+
+func TestRNGSplitMatchesSequentialForks(t *testing.T) {
+	// Split must be exactly the Fork(1)..Fork(n) sequence: the fleet
+	// engine pre-splits per-shard streams in index order, and existing
+	// corpora were generated with sequential forks.
+	a := NewRNG(42)
+	split := a.Split(5)
+	b := NewRNG(42)
+	for i, s := range split {
+		f := b.Fork(uint64(i) + 1)
+		for j := 0; j < 100; j++ {
+			if s.Uint64() != f.Uint64() {
+				t.Fatalf("Split[%d] diverges from Fork(%d)", i, i+1)
+			}
+		}
+	}
+	// Streams must also be mutually independent.
+	x, y := NewRNG(9).Split(2), 0
+	for i := 0; i < 1000; i++ {
+		if x[0].Uint64() == x[1].Uint64() {
+			y++
+		}
+	}
+	if y > 2 {
+		t.Errorf("split streams matched %d/1000 draws", y)
+	}
+}
