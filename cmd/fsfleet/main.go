@@ -11,8 +11,15 @@
 //	fsfleet -out traces/ -workers 8 -checkpoint-dir ckpt/
 //	fsfleet -out traces/ -workers 8 -checkpoint-dir ckpt/ -resume
 //
+//	fsfleet -serve :9470 -out traces/        # run a collection server
+//	fsfleet -collect host:9470 -workers 8    # ship the study to it
+//
 // The per-machine trace streams are byte-identical at any -workers value,
 // and a resumed run converges to the same corpus as an uninterrupted one.
+// With -collect, agents ship over the fault-tolerant NTTRACE2 wire (spill
+// ring, retry/backoff, idempotent resend); records that overflow the
+// spill ring during an outage are counted and reported, never silently
+// lost.
 package main
 
 import (
@@ -20,12 +27,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/agent"
+	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -46,8 +56,16 @@ func main() {
 		noFast   = flag.Bool("block-fastio", false, "insert an opaque filter that blocks FastIO (§10 ablation)")
 		hash     = flag.Bool("hash", false, "print each machine's compressed-stream SHA-256")
 		interval = flag.Duration("progress", 5*time.Second, "progress print interval (0 disables)")
+		collAddr = flag.String("collect", "", "ship trace streams to a live collection server at this address (corpus lives server-side)")
+		spill    = flag.Int("spill", 0, "per-agent spill-ring capacity in buffers for -collect (0 = default 64)")
+		serve    = flag.String("serve", "", "run as a collection server on this listen address (with -out; fleet flags ignored)")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		runServer(*serve, *out)
+		return
+	}
 
 	duration := sim.FromSeconds(*weeks * 7 * 24 * 3600)
 	if *hours > 0 {
@@ -55,6 +73,9 @@ func main() {
 	}
 	if *resume && *ckptDir == "" {
 		log.Fatal("-resume needs -checkpoint-dir")
+	}
+	if *collAddr != "" && (*ckptDir != "" || *resume) {
+		log.Fatal("-collect is incompatible with -checkpoint-dir/-resume (the server owns the corpus)")
 	}
 
 	study := core.NewStudy(core.Config{
@@ -67,6 +88,8 @@ func main() {
 		Workers:         *workers,
 		CheckpointDir:   *ckptDir,
 		Resume:          *resume,
+		CollectAddr:     *collAddr,
+		NetSink:         agent.NetSinkConfig{SpillSlots: *spill},
 	})
 
 	st := study.Engine.Status()
@@ -113,6 +136,20 @@ func main() {
 
 	st = study.Engine.Status()
 	fmt.Fprintf(os.Stderr, "finished in %s: %s\n", time.Since(start).Round(time.Second), st)
+
+	if *collAddr != "" {
+		// The corpus lives on the collection server; report delivery
+		// accounting instead of saving locally. Loss is never silent.
+		ns := study.NetStats()
+		fmt.Fprintf(os.Stderr, "shipped %d records to %s (%d spilled buffers, %d send errors, %d reconnects)\n",
+			ns.Shipped, *collAddr, ns.Spilled, ns.SendErrors, ns.Reconnects)
+		if ns.Lost > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: %d records LOST (spill-ring overflow or drain timeout)\n", ns.Lost)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "no records lost")
+		return
+	}
 	fmt.Fprintf(os.Stderr, "collected %d trace records, %d snapshots, %d KB compressed\n",
 		study.TotalEvents(), len(study.Snapshots), study.Store.CompressedBytes()/1024)
 
@@ -129,4 +166,36 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "saved corpus to %s\n", *out)
+}
+
+// runServer runs a collection server until SIGINT/SIGTERM, then saves the
+// gathered corpus to out. Mid-stream truncations (agent died after the
+// handshake) are reported with machine name and frame count; agents that
+// reconnect resend idempotently, so truncation alone is not data loss.
+func runServer(addr, out string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := collect.NewStore()
+	srv := collect.Serve(ln, store)
+	fmt.Fprintf(os.Stderr, "collection server listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+
+	srv.Close()
+	for _, e := range srv.Errors() {
+		fmt.Fprintf(os.Stderr, "stream error: %v\n", e)
+	}
+	if err := store.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "received %d records from %d machines\n",
+		store.TotalRecords(), len(store.Machines()))
+	if err := store.SaveDir(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saved corpus to %s\n", out)
 }

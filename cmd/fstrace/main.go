@@ -7,6 +7,7 @@
 // Usage:
 //
 //	fstrace -out traces/ -machines 45 -hours 24 -seed 1
+//	fstrace -collect host:9470 -machines 45 -hours 24   # ship to a live server
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -30,6 +32,8 @@ func main() {
 		network  = flag.Bool("network", true, "mount per-user network shares over the redirector")
 		noFast   = flag.Bool("block-fastio", false, "insert an opaque filter that blocks FastIO (§10 ablation)")
 		workers  = flag.Int("workers", 1, "machine shards running concurrently (results are identical at any count)")
+		collAddr = flag.String("collect", "", "ship trace streams to a live collection server at this address (corpus lives server-side)")
+		spill    = flag.Int("spill", 0, "per-agent spill-ring capacity in buffers for -collect (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -41,11 +45,24 @@ func main() {
 		SnapshotAtStart: true,
 		FastIOBlocked:   *noFast,
 		Workers:         *workers,
+		CollectAddr:     *collAddr,
+		NetSink:         agent.NetSinkConfig{SpillSlots: *spill},
 	})
 	fmt.Fprintf(os.Stderr, "running %d machines for %.1f simulated hours (seed %d)...\n",
 		*machines, *hours, *seed)
 	if err := study.Run(); err != nil {
 		log.Fatal(err)
+	}
+	if *collAddr != "" {
+		ns := study.NetStats()
+		fmt.Fprintf(os.Stderr, "shipped %d records to %s (%d spilled buffers, %d send errors, %d reconnects)\n",
+			ns.Shipped, *collAddr, ns.Spilled, ns.SendErrors, ns.Reconnects)
+		if ns.Lost > 0 {
+			fmt.Fprintf(os.Stderr, "WARNING: %d records LOST (spill-ring overflow or drain timeout)\n", ns.Lost)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "no records lost")
+		return
 	}
 	fmt.Fprintf(os.Stderr, "collected %d trace records, %d snapshots, %d KB compressed\n",
 		study.TotalEvents(), len(study.Snapshots), study.Store.CompressedBytes()/1024)

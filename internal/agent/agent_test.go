@@ -209,7 +209,7 @@ func TestNetSinkEndToEnd(t *testing.T) {
 	if len(sink.Snaps) == 0 {
 		t.Error("snapshots not retained by the sink")
 	}
-	if sink.SendErrors != 0 {
-		t.Errorf("send errors: %d", sink.SendErrors)
+	if st := sink.Stats(); st.SendErrors != 0 {
+		t.Errorf("send errors: %d", st.SendErrors)
 	}
 }

@@ -1,7 +1,9 @@
 package agent
 
 import (
+	"net"
 	"sync"
+	"time"
 
 	"repro/internal/collect"
 	"repro/internal/snapshot"
@@ -12,50 +14,244 @@ import (
 // deployment, where each trace agent connects to one of three dedicated
 // collection servers. Snapshots are retained locally (they were shipped
 // out of band in the study).
+//
+// The sink is fault-tolerant and never loses data silently: every buffer
+// gets a frame sequence number and is either confirmed stored by the
+// server (Shipped) or counted as lost (Lost). While the server is
+// unreachable, buffers spill into a bounded in-memory ring that a
+// background goroutine drains after reconnecting with exponential
+// backoff; overflow beyond the ring is the paper's suspension-period
+// data loss, counted exactly. Resends after a reconnect are idempotent —
+// the server's handshake ack reports what already landed, and
+// already-stored frames are dropped server-side by sequence number.
 type NetSink struct {
-	mu      sync.Mutex
 	addr    string
 	machine string
-	client  *collect.Client
+	cfg     NetSinkConfig
+
+	mu       sync.Mutex
+	client   *collect.Client
+	up       bool // connected, ring drained: direct sends
+	retrying bool // background reconnect goroutine active
+	closed   bool
+	nextSeq  uint64
+	ring     []spillEntry // circular: [head, head+count)
+	head     int
+	count    int
+	stats    NetStats
 
 	// Snapshots taken while this sink was active.
 	Snaps []*snapshot.Snapshot
-	// SendErrors counts failed shipments (the agent suspends on its own
-	// connected flag; errors here indicate a mid-stream failure).
-	SendErrors int
 }
 
-// NewNetSink dials the collection server for the given machine.
+// NetSinkConfig parameterises the sink's fault tolerance. The zero value
+// gets production defaults.
+type NetSinkConfig struct {
+	// SpillSlots is the bounded spill ring's capacity in buffers
+	// (default 64). While the server is unreachable up to this many
+	// trace buffers are retained for resend; past it, incoming buffers
+	// are dropped and their records counted lost.
+	SpillSlots int
+	// BaseBackoff and MaxBackoff bound the reconnect backoff
+	// (defaults 10ms and 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// DrainTimeout bounds how long Close waits for the ring to drain
+	// before counting the remainder as lost (default 10s).
+	DrainTimeout time.Duration
+	// Dial overrides the transport dial — the fault-injection hook
+	// (e.g. collect.FaultInjector.Dial). nil = net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+	// Eager makes construction fail when the first dial fails, instead
+	// of starting disconnected with the retrier spilling buffers until
+	// the server appears.
+	Eager bool
+}
+
+// NetStats is a sink's delivery accounting. Shipped+Lost covers every
+// record handed to the sink: nothing is dropped without being counted.
+type NetStats struct {
+	Shipped    uint64 // records confirmed stored by the server
+	Lost       uint64 // records dropped: ring overflow or unflushed at Close
+	SendErrors uint64 // failed ships (each triggers spill + reconnect)
+	Reconnects uint64 // successful re-dials after a failure
+	Spilled    uint64 // buffers that took the spill ring
+}
+
+// Add accumulates another sink's accounting (fleet-level totals).
+func (s *NetStats) Add(o NetStats) {
+	s.Shipped += o.Shipped
+	s.Lost += o.Lost
+	s.SendErrors += o.SendErrors
+	s.Reconnects += o.Reconnects
+	s.Spilled += o.Spilled
+}
+
+type spillEntry struct {
+	seq  uint64
+	recs []tracefmt.Record
+}
+
+// NewNetSink dials the collection server for the given machine, failing
+// if it is unreachable (the simple, pre-fault-tolerance contract).
 func NewNetSink(addr, machine string) (*NetSink, error) {
-	c, err := collect.Dial(addr, machine)
+	return NewNetSinkConfig(addr, machine, NetSinkConfig{Eager: true})
+}
+
+// NewNetSinkConfig builds a sink with explicit fault-tolerance knobs.
+// Unless cfg.Eager is set, an unreachable server is not an error: the
+// sink starts disconnected, spills, and connects when it can.
+func NewNetSinkConfig(addr, machine string, cfg NetSinkConfig) (*NetSink, error) {
+	if cfg.SpillSlots <= 0 {
+		cfg.SpillSlots = 64
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	n := &NetSink{addr: addr, machine: machine, cfg: cfg, ring: make([]spillEntry, cfg.SpillSlots)}
+	c, err := n.dial()
+	switch {
+	case err == nil:
+		n.client = c
+		n.up = true
+		n.nextSeq = c.LastAcked()
+	case cfg.Eager:
+		return nil, err
+	default:
+		n.mu.Lock()
+		n.startRetrierLocked()
+		n.mu.Unlock()
+	}
+	return n, nil
+}
+
+func (n *NetSink) dial() (*collect.Client, error) {
+	conn, err := n.cfg.Dial(n.addr)
 	if err != nil {
 		return nil, err
 	}
-	return &NetSink{addr: addr, machine: machine, client: c}, nil
+	return collect.DialConn(conn, n.machine)
 }
 
-// TraceBuffer implements Sink by streaming the records; on failure it
-// attempts one reconnect (the agent-level suspend logic handles longer
-// outages).
+// TraceBuffer implements Sink. Buffers ship directly while the link is up
+// and the ring is empty (stream order is preserved); otherwise they
+// spill. A full ring drops the incoming buffer, counting its records.
 func (n *NetSink) TraceBuffer(mch string, recs []tracefmt.Record) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.client == nil {
-		n.SendErrors++
+	if len(recs) == 0 {
 		return
 	}
-	if err := n.client.Send(recs); err != nil {
-		n.SendErrors++
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		n.stats.Lost += uint64(len(recs))
+		return
+	}
+	n.nextSeq++
+	seq := n.nextSeq
+	if n.up && n.count == 0 {
+		if err := n.client.SendSeq(seq, recs); err == nil {
+			n.stats.Shipped += uint64(len(recs))
+			return
+		}
+		n.stats.SendErrors++
 		n.client.Close()
-		c, derr := collect.Dial(n.addr, n.machine)
-		if derr != nil {
-			n.client = nil
+		n.client = nil
+		n.up = false
+	}
+	n.spillLocked(seq, recs)
+	n.startRetrierLocked()
+}
+
+func (n *NetSink) spillLocked(seq uint64, recs []tracefmt.Record) {
+	if n.count == len(n.ring) {
+		n.stats.Lost += uint64(len(recs))
+		return
+	}
+	n.ring[(n.head+n.count)%len(n.ring)] = spillEntry{seq: seq, recs: recs}
+	n.count++
+	n.stats.Spilled++
+}
+
+func (n *NetSink) popLocked() {
+	n.ring[n.head] = spillEntry{}
+	n.head = (n.head + 1) % len(n.ring)
+	n.count--
+}
+
+func (n *NetSink) startRetrierLocked() {
+	if n.retrying || n.closed {
+		return
+	}
+	n.retrying = true
+	go n.retryLoop()
+}
+
+// retryLoop reconnects with exponential backoff and drains the spill ring
+// in order, exiting once the sink is back to direct sends (or closed).
+func (n *NetSink) retryLoop() {
+	backoff := n.cfg.BaseBackoff
+	for {
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > n.cfg.MaxBackoff {
+			backoff = n.cfg.MaxBackoff
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.retrying = false
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+		c, err := n.dial()
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.retrying = false
+			n.mu.Unlock()
+			c.Close()
 			return
 		}
 		n.client = c
-		if err := n.client.Send(recs); err != nil {
-			n.SendErrors++
+		n.stats.Reconnects++
+		// Frames the server already has need no resend; they were stored
+		// before the last connection died, so they count as shipped.
+		for n.count > 0 && n.ring[n.head].seq <= c.LastAcked() {
+			n.stats.Shipped += uint64(len(n.ring[n.head].recs))
+			n.popLocked()
 		}
+		// Drain the rest in order; a failure goes back to dialing. New
+		// buffers block on the lock meanwhile, preserving stream order.
+		drained := true
+		for n.count > 0 {
+			e := n.ring[n.head]
+			if err := c.SendSeq(e.seq, e.recs); err != nil {
+				n.stats.SendErrors++
+				c.Close()
+				n.client = nil
+				drained = false
+				break
+			}
+			n.stats.Shipped += uint64(len(e.recs))
+			n.popLocked()
+		}
+		if drained {
+			n.up = true
+			n.retrying = false
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
 	}
 }
 
@@ -66,14 +262,58 @@ func (n *NetSink) Snapshot(s *snapshot.Snapshot) {
 	n.Snaps = append(n.Snaps, s)
 }
 
-// Close ends the stream cleanly.
-func (n *NetSink) Close() error {
+// Stats returns a consistent copy of the delivery accounting.
+func (n *NetSink) Stats() NetStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.client == nil {
+	return n.stats
+}
+
+// Connected reports whether the sink is in direct-send state (link up,
+// spill ring empty).
+func (n *NetSink) Connected() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up && n.count == 0
+}
+
+// Close waits (bounded by DrainTimeout) for the spill ring to drain, then
+// ends the stream cleanly. Anything still undelivered at the deadline is
+// counted as lost — the accounting, not the error return, is the loss
+// contract; the error reports a failed clean-close marker.
+func (n *NetSink) Close() error {
+	deadline := time.Now().Add(n.cfg.DrainTimeout)
+	for {
+		n.mu.Lock()
+		if (n.up && n.count == 0) || !time.Now().Before(deadline) {
+			break
+		}
+		n.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+	}
+	// mu held.
+	n.closed = true
+	for i := 0; i < n.count; i++ {
+		n.stats.Lost += uint64(len(n.ring[(n.head+i)%len(n.ring)].recs))
+	}
+	n.count = 0
+	client := n.client
+	n.client = nil
+	n.up = false
+	n.mu.Unlock()
+	if client == nil {
 		return nil
 	}
-	err := n.client.Close()
-	n.client = nil
-	return err
+	if err := client.Close(); err != nil {
+		// Every data frame was individually acked, so nothing is lost —
+		// but the clean-close marker failed. One fresh connection can
+		// still deliver it (handshake + end frame).
+		if c2, derr := n.dial(); derr == nil {
+			if cerr := c2.Close(); cerr == nil {
+				return nil
+			}
+		}
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,244 @@
+package collect
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ErrDialRefused is the error a FaultInjector returns while a refusal
+// window is open.
+var ErrDialRefused = errors.New("collect: fault injector refused dial")
+
+// errConnCut is returned once a connection's byte budget is spent.
+var errConnCut = errors.New("collect: fault injector cut connection")
+
+// Fault is the schedule entry for one established connection: how many
+// dial attempts to refuse before letting it through, how many bytes may
+// flow through it before it is cut, and an added per-write delay.
+type Fault struct {
+	// RefuseDials fails this many dial (or accept) attempts before the
+	// connection is established — the paper's unreachable-server windows.
+	RefuseDials int
+	// DropAfterBytes cuts the connection after this many bytes have moved
+	// through it in either direction (0 = never).
+	DropAfterBytes int64
+	// WriteDelay is added to every write on the connection.
+	WriteDelay time.Duration
+}
+
+// FaultInjector applies a deterministic fault schedule to the agent→server
+// path. It wraps the client dialer (Dial) or the server listener
+// (Listener); schedule entries are consumed one per established
+// connection, and an exhausted schedule injects no further faults. Drawing
+// the schedule from sim.RNG (RandomFaults) makes a seeded study reproduce
+// the exact same fault sequence.
+type FaultInjector struct {
+	mu      sync.Mutex
+	plan    []Fault
+	next    int // index of the entry governing the next connection
+	refused int // refusals already charged against plan[next]
+
+	dials, refusals, cuts int
+}
+
+// NewFaultInjector builds an injector over an explicit schedule.
+func NewFaultInjector(plan []Fault) *FaultInjector {
+	return &FaultInjector{plan: append([]Fault(nil), plan...)}
+}
+
+// RandomFaults draws a deterministic n-connection schedule from rng: each
+// connection is preceded by up to maxRefuse refused dial attempts and cut
+// after a byte budget in [minBytes, maxBytes). After the n scheduled
+// connections the injector is fault-free, so a run always completes.
+func RandomFaults(rng *sim.RNG, n, maxRefuse int, minBytes, maxBytes int64) *FaultInjector {
+	plan := make([]Fault, n)
+	for i := range plan {
+		f := Fault{}
+		if maxRefuse > 0 {
+			f.RefuseDials = rng.Intn(maxRefuse + 1)
+		}
+		if maxBytes > minBytes {
+			f.DropAfterBytes = minBytes + rng.Int63n(maxBytes-minBytes)
+		}
+		plan[i] = f
+	}
+	return NewFaultInjector(plan)
+}
+
+// admit charges one connection attempt against the schedule, returning
+// the entry to apply when the attempt is allowed through.
+func (f *FaultInjector) admit() (Fault, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dials++
+	if f.next >= len(f.plan) {
+		return Fault{}, true // schedule exhausted: fault-free
+	}
+	cur := f.plan[f.next]
+	if f.refused < cur.RefuseDials {
+		f.refused++
+		f.refusals++
+		return Fault{}, false
+	}
+	f.next++
+	f.refused = 0
+	return cur, true
+}
+
+// Dial is a net.Dial replacement applying the schedule; plug it into
+// agent.NetSinkConfig.Dial to fault the client side of the path.
+func (f *FaultInjector) Dial(addr string) (net.Conn, error) {
+	cur, ok := f.admit()
+	if !ok {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrDialRefused}
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(conn, cur), nil
+}
+
+// Listener wraps ln so accepted connections follow the schedule — the
+// server-side fault surface. A refused "dial" becomes an accept that is
+// immediately closed.
+func (f *FaultInjector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, f: f}
+}
+
+type faultListener struct {
+	net.Listener
+	f *FaultInjector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		cur, ok := l.f.admit()
+		if !ok {
+			conn.Close()
+			continue
+		}
+		return l.f.wrap(conn, cur), nil
+	}
+}
+
+func (f *FaultInjector) wrap(conn net.Conn, cur Fault) net.Conn {
+	if cur.DropAfterBytes == 0 && cur.WriteDelay == 0 {
+		return conn
+	}
+	budget := cur.DropAfterBytes
+	if budget == 0 {
+		budget = -1 // unlimited
+	}
+	return &faultConn{Conn: conn, f: f, budget: budget, delay: cur.WriteDelay}
+}
+
+// Counts reports attempts, scheduled refusals and budget cuts so far.
+func (f *FaultInjector) Counts() (dials, refused, cut int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dials, f.refusals, f.cuts
+}
+
+// faultConn meters bytes in both directions and severs the connection
+// when its budget is spent — truncating whatever frame was in flight,
+// exactly the failure the v2 protocol must detect and recover from.
+type faultConn struct {
+	net.Conn
+	f     *FaultInjector
+	delay time.Duration
+
+	mu     sync.Mutex
+	budget int64 // remaining bytes; < 0 = unlimited
+	dead   bool
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, errConnCut
+	}
+	allowed := len(b)
+	cutAfter := false
+	if c.budget >= 0 {
+		if int64(allowed) >= c.budget {
+			allowed = int(c.budget)
+			cutAfter = true
+		}
+		c.budget -= int64(allowed)
+	}
+	c.mu.Unlock()
+	n := 0
+	var err error
+	if allowed > 0 {
+		n, err = c.Conn.Write(b[:allowed])
+	}
+	if cutAfter {
+		c.cut()
+		if err == nil {
+			err = errConnCut
+		}
+	}
+	return n, err
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	// Reads charge actual bytes received (a bufio caller asks for far
+	// more than arrives), capped at the remaining budget.
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, errConnCut
+	}
+	limit := len(b)
+	if c.budget >= 0 && int64(limit) > c.budget {
+		limit = int(c.budget)
+	}
+	c.mu.Unlock()
+	if limit == 0 {
+		c.cut()
+		return 0, errConnCut
+	}
+	n, err := c.Conn.Read(b[:limit])
+	c.mu.Lock()
+	spent := c.budget >= 0
+	if spent {
+		c.budget -= int64(n)
+		spent = c.budget <= 0
+	}
+	c.mu.Unlock()
+	if spent {
+		c.cut()
+		if err == nil {
+			err = errConnCut
+		}
+	}
+	return n, err
+}
+
+// cut severs the connection once, counting it.
+func (c *faultConn) cut() {
+	c.mu.Lock()
+	already := c.dead
+	c.dead = true
+	c.mu.Unlock()
+	if already {
+		return
+	}
+	c.f.mu.Lock()
+	c.f.cuts++
+	c.f.mu.Unlock()
+	c.Conn.Close()
+}

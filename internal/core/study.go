@@ -58,6 +58,16 @@ type Config struct {
 	// worker count — the shard decomposition and RNG split never depend
 	// on it.
 	Workers int
+	// CollectAddr, when set, ships every machine's trace stream over TCP
+	// to a live collection server at this address (the §3 deployment
+	// shape) instead of the in-process store; the server then owns the
+	// corpus. Checkpoint/resume are unavailable in this mode. Delivery
+	// accounting (shipped/lost records) is aggregated by NetStats.
+	CollectAddr string
+	// NetSink parameterises the per-machine network sinks used with
+	// CollectAddr (spill-ring size, backoff, dial override for fault
+	// injection). The zero value gets production defaults.
+	NetSink agent.NetSinkConfig
 	// CheckpointDir, when set, persists each completed machine so a
 	// killed run can resume.
 	CheckpointDir string
@@ -89,6 +99,9 @@ type Node struct {
 	Layout  *fsgen.Layout
 	Share   *fsgen.Layout
 	ShareFS *machine.Vol
+	// Net is the machine's network sink when the study ships to a live
+	// collection server (Config.CollectAddr); nil otherwise.
+	Net *agent.NetSink
 	// Restored marks a node loaded from a fleet checkpoint.
 	Restored bool
 }
@@ -202,6 +215,7 @@ func NewStudy(cfg Config) *Study {
 		Duration:      cfg.Duration,
 		Workers:       cfg.Workers,
 		CheckpointDir: cfg.CheckpointDir,
+		Remote:        cfg.CollectAddr != "",
 	}, s.Store)
 
 	s.specs = fleetSpecs(cfg.Machines)
@@ -313,7 +327,14 @@ func (s *Study) buildNode(idx int, rng *sim.RNG) {
 	}
 
 	m.Start()
-	node.Agent = agent.New(m, s.Engine)
+	var sink agent.Sink = s.Engine
+	if s.Cfg.CollectAddr != "" {
+		nsCfg := s.Cfg.NetSink
+		nsCfg.Eager = false // build must not fail on a refusal window; the sink spills until the server appears
+		node.Net, _ = agent.NewNetSinkConfig(s.Cfg.CollectAddr, sp.name, nsCfg)
+		sink = &netNodeSink{engine: s.Engine, net: node.Net}
+	}
+	node.Agent = agent.New(m, sink)
 	node.Driver = workload.Install(m, node.Layout, rng.Fork(4))
 	if node.Share != nil {
 		p := workload.NewProc(m, "shareuser", `\\fs\`+user, rng.Fork(5))
@@ -336,8 +357,42 @@ func (s *Study) buildNode(idx int, rng *sim.RNG) {
 			node.Agent.Stop()
 			node.M.Stop()
 		},
+		Close: func() error {
+			if node.Net == nil {
+				return nil
+			}
+			return node.Net.Close()
+		},
 		ProcNames: func() map[uint32]string { return node.M.ProcNames },
 	})
+}
+
+// netNodeSink routes one machine's trace buffers to the live collection
+// server while crediting the fleet engine's progress counters; snapshots
+// stay with the engine — they were shipped out of band in the study (§3).
+type netNodeSink struct {
+	engine *fleet.Engine
+	net    *agent.NetSink
+}
+
+func (ns *netNodeSink) TraceBuffer(mch string, recs []tracefmt.Record) {
+	ns.net.TraceBuffer(mch, recs)
+	ns.engine.CountRecords(mch, len(recs))
+}
+
+func (ns *netNodeSink) Snapshot(snap *snapshot.Snapshot) { ns.engine.Snapshot(snap) }
+
+// NetStats aggregates delivery accounting across the fleet's network
+// sinks (CollectAddr mode): every record is either confirmed stored by
+// the server or counted lost — never silently dropped.
+func (s *Study) NetStats() agent.NetStats {
+	var total agent.NetStats
+	for _, n := range s.Nodes {
+		if n != nil && n.Net != nil {
+			total.Add(n.Net.Stats())
+		}
+	}
+	return total
 }
 
 // Run executes the study to its configured duration and finalizes the

@@ -49,6 +49,11 @@ type Hooks struct {
 	// machine. The engine then drains the scheduler briefly so final
 	// trace-buffer flushes land.
 	Finish func()
+	// Close releases the shard's collection transport after the drain —
+	// the remote-collection path closes its network sink here, flushing
+	// the spill ring and delivering the clean-close marker. An error
+	// fails the shard. May be nil.
+	Close func() error
 	// ProcNames reports the machine's pid→image dimension for results and
 	// checkpoints. May be nil.
 	ProcNames func() map[uint32]string
@@ -72,6 +77,11 @@ type Config struct {
 	// Drain is the extra virtual time run after Finish so final flush
 	// shipments land (default 1 simulated minute).
 	Drain sim.Duration
+	// Remote marks a fleet whose trace streams ship to a live collection
+	// server instead of the engine's local store: shards credit progress
+	// via CountRecords, the local store is neither finalized nor
+	// checkpointed (the server owns the corpus), and Restore is refused.
+	Remote bool
 }
 
 // shard states.
@@ -167,7 +177,7 @@ func (e *Engine) register(sh *shard) error {
 // and runs the shard normally — so a checkpoint killed mid-write simply
 // re-runs its machine.
 func (e *Engine) Restore(spec Spec) (*Restored, bool) {
-	if e.cfg.CheckpointDir == "" {
+	if e.cfg.CheckpointDir == "" || e.cfg.Remote {
 		return nil, false
 	}
 	ck, err := loadCheckpoint(checkpointPath(e.cfg.CheckpointDir, spec.Name), spec.Fingerprint)
@@ -204,6 +214,15 @@ func (e *Engine) TraceBuffer(mch string, recs []tracefmt.Record) {
 		return
 	}
 	sh.records.Add(int64(len(recs)))
+}
+
+// CountRecords credits n shipped records to a shard's progress counters —
+// the remote-collection path, where buffers bypass the engine's store and
+// land on a live collect.Server instead.
+func (e *Engine) CountRecords(mch string, n int) {
+	if sh := e.lookup(mch); sh != nil {
+		sh.records.Add(int64(n))
+	}
 }
 
 // Snapshot implements agent.Sink: daily walks collect per shard and merge
@@ -313,6 +332,12 @@ func (e *Engine) runShard(ctx context.Context, sh *shard) error {
 	sh.simNow.Store(int64(deadline))
 	sh.events.Store(sh.sched.Ran())
 
+	if sh.hooks.Close != nil {
+		if err := sh.hooks.Close(); err != nil {
+			sh.state.Store(stateFailed)
+			return fmt.Errorf("fleet: shard %q: close: %w", sh.spec.Name, err)
+		}
+	}
 	sh.appendMu.Lock()
 	appendErr := sh.appendErr
 	sh.appendMu.Unlock()
@@ -320,17 +345,19 @@ func (e *Engine) runShard(ctx context.Context, sh *shard) error {
 		sh.state.Store(stateFailed)
 		return fmt.Errorf("fleet: shard %q: %w", sh.spec.Name, appendErr)
 	}
-	if err := e.store.FinalizeMachine(sh.spec.Name); err != nil {
-		sh.state.Store(stateFailed)
-		return fmt.Errorf("fleet: shard %q: %w", sh.spec.Name, err)
-	}
 	if sh.hooks.ProcNames != nil {
 		sh.procNames = sh.hooks.ProcNames()
 	}
-	if e.cfg.CheckpointDir != "" {
-		if err := e.writeCheckpoint(sh); err != nil {
+	if !e.cfg.Remote {
+		if err := e.store.FinalizeMachine(sh.spec.Name); err != nil {
 			sh.state.Store(stateFailed)
-			return fmt.Errorf("fleet: checkpoint %q: %w", sh.spec.Name, err)
+			return fmt.Errorf("fleet: shard %q: %w", sh.spec.Name, err)
+		}
+		if e.cfg.CheckpointDir != "" {
+			if err := e.writeCheckpoint(sh); err != nil {
+				sh.state.Store(stateFailed)
+				return fmt.Errorf("fleet: checkpoint %q: %w", sh.spec.Name, err)
+			}
 		}
 	}
 	sh.ended.Store(time.Now().UnixNano())

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -232,5 +233,51 @@ func TestSnapshotsMergeInMachineOrder(t *testing.T) {
 	}
 	if e.ProcNames("m03") == nil {
 		t.Error("ProcNames(m03) lost")
+	}
+}
+
+func TestRemoteModeSkipsCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	store := collect.NewStore()
+	e := New(Config{Duration: sim.Hour, Workers: 2, CheckpointDir: dir, Remote: true}, store)
+	rngs := sim.NewRNG(5).Split(2)
+	for i := 0; i < 2; i++ {
+		addFakeShard(t, e, i, fmt.Sprintf("m%02d", i), rngs[i])
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Remote mode: no local finalize, no checkpoints, no restore.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("remote run wrote %d checkpoint files", len(entries))
+	}
+	if _, ok := e.Restore(Spec{Index: 0, Name: "m00", Fingerprint: "fp-m00"}); ok {
+		t.Error("Restore succeeded in remote mode")
+	}
+	if st := e.Status(); st.Done != 2 {
+		t.Errorf("status after remote run: %+v", st)
+	}
+}
+
+func TestCloseHookErrorFailsShard(t *testing.T) {
+	e := New(Config{Duration: sim.Minute}, collect.NewStore())
+	sched := sim.NewScheduler()
+	closeErr := fmt.Errorf("sink drain failed")
+	err := e.Add(Spec{Index: 0, Name: "m00", Fingerprint: "fp"}, sched, Hooks{
+		Close: func() error { return closeErr },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := e.Run(context.Background())
+	if runErr == nil || !strings.Contains(runErr.Error(), "close") {
+		t.Fatalf("Run = %v, want close-hook failure", runErr)
+	}
+	if !errors.Is(runErr, closeErr) {
+		t.Errorf("close cause not wrapped: %v", runErr)
 	}
 }
