@@ -586,6 +586,89 @@ func BenchmarkAblationCacheSize(b *testing.B) {
 	}
 }
 
+// fleetCorpus is the standard 45-machine corpus (the paper's fleet size)
+// used by the analysis-engine benchmarks. Built once; the benchmarks
+// decode/compute from the collected store, never re-running the study.
+var (
+	fleetOnce  sync.Once
+	fleetStudy *core.Study
+)
+
+func fleetCorpus(b *testing.B) *core.Study {
+	b.Helper()
+	fleetOnce.Do(func() {
+		s := core.NewStudy(core.Config{
+			Seed: 21, Machines: 45, Duration: 15 * sim.Minute,
+			WithNetwork: true, Workers: 8,
+		})
+		if err := s.Run(); err != nil {
+			panic(err)
+		}
+		fleetStudy = s
+	})
+	return fleetStudy
+}
+
+// BenchmarkDataSetDecode measures corpus decode — DEFLATE inflation into
+// sorted MachineTraces — at increasing worker counts. The determinism
+// test (core.TestDataSetWorkersDeterministic) pins that every variant
+// yields an identical corpus, so the sub-benchmarks differ only in
+// wall-clock.
+func BenchmarkDataSetDecode(b *testing.B) {
+	s := fleetCorpus(b)
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var records int
+			for i := 0; i < b.N; i++ {
+				ds, err := s.DataSetWorkers(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					for _, mt := range ds.Machines {
+						records += len(mt.Records)
+					}
+					b.ReportMetric(float64(len(ds.Machines)), "machines")
+				}
+			}
+			b.ReportMetric(float64(records), "records")
+		})
+	}
+}
+
+// BenchmarkComputeResults measures the full per-machine measure fan-out
+// (instance tables, lifetimes, controls, cache, reuse, FastIO shares)
+// plus the serial merge, at increasing worker counts. Each iteration
+// wraps the decoded records in fresh MachineTraces: derived state is
+// built once per trace, so reusing traces would measure only the merge.
+func BenchmarkComputeResults(b *testing.B) {
+	s := fleetCorpus(b)
+	base, err := s.DataSetWorkers(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ds := &analysis.DataSet{}
+				for _, mt := range base.Machines {
+					fresh := analysis.NewMachineTraceOwned(mt.Name, mt.Category, mt.Records)
+					fresh.ProcNames = mt.ProcNames
+					ds.Machines = append(ds.Machines, fresh)
+				}
+				b.StartTimer()
+				r := report.ComputeWorkers(ds, workers)
+				if i == 0 {
+					b.ReportMetric(float64(len(r.All)), "instances")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFleet measures the sharded fleet-execution engine: the same
 // reduced study at increasing worker counts. Per-machine streams are
 // byte-identical across worker counts, so the sub-benchmarks differ only

@@ -5,11 +5,19 @@
 // lifetime) — plus the dimension tables (machine, process, file-type
 // category hierarchy) used as category axes, and the §3.3 filtering of
 // cache-manager-induced paging duplicates.
+//
+// The package doubles as the corpus query engine: every expensive view
+// derived from the trace table — the name map, the instance table, the
+// per-kind record index — is built once per MachineTrace, on first use,
+// behind a sync.Once, so any number of tables and figures can be
+// computed concurrently over one decoded corpus without rescanning or
+// rebuilding shared state.
 package analysis
 
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ntos/machine"
 	"repro/internal/ntos/types"
@@ -20,40 +28,87 @@ import (
 type MachineTrace struct {
 	Name     string
 	Category machine.Category
-	Records  []tracefmt.Record
+	// Records is the trace stream sorted by start timestamp. The slice is
+	// owned by the MachineTrace; mutating it after construction
+	// invalidates the lazily derived views below.
+	Records []tracefmt.Record
 	// ProcNames maps pid → image name (the process dimension). Optional.
 	ProcNames map[uint32]string
 
-	// Names maps file-object ids to paths, built from EvNameMap records.
-	Names map[types.FileObjectID]string
+	// Lazily derived, sync.Once-guarded state. Safe for concurrent use:
+	// after the Once completes the views are immutable.
+	namesOnce sync.Once
+	names     map[types.FileObjectID]string
+	insOnce   sync.Once
+	ins       []*Instance
+	idxOnce   sync.Once
+	idx       *MachineIndex
 }
 
 // DataSet is the full study corpus.
 type DataSet struct {
 	Machines []*MachineTrace
+
+	// Lazy corpus index (see Index); the zero value keeps DataSet
+	// literals constructible.
+	idxOnce sync.Once
+	idx     *Index
 }
 
-// NewMachineTrace wraps raw records: sorts them by start timestamp (trace
-// buffers from different volumes of one machine interleave at flush
-// granularity) and indexes the name-map records.
+// NewMachineTrace wraps raw records in a sorted view (trace buffers from
+// different volumes of one machine interleave at flush granularity). The
+// caller's slice is left untouched: the records are copied before
+// sorting, so a corpus can be shared with replay or other consumers that
+// depend on the original order.
 func NewMachineTrace(name string, cat machine.Category, recs []tracefmt.Record) *MachineTrace {
+	owned := make([]tracefmt.Record, len(recs))
+	copy(owned, recs)
+	return NewMachineTraceOwned(name, cat, owned)
+}
+
+// NewMachineTraceOwned is NewMachineTrace taking ownership of recs: the
+// slice is sorted in place and must not be used by the caller afterwards.
+// This is the allocation-free path for freshly decoded streams.
+func NewMachineTraceOwned(name string, cat machine.Category, recs []tracefmt.Record) *MachineTrace {
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
-	mt := &MachineTrace{
+	return &MachineTrace{
 		Name:     name,
 		Category: cat,
 		Records:  recs,
-		Names:    map[types.FileObjectID]string{},
 	}
-	for i := range recs {
-		if recs[i].Kind == tracefmt.EvNameMap {
-			mt.Names[recs[i].FileID] = recs[i].NameString()
+}
+
+// Names maps file-object ids to paths, indexed from EvNameMap records on
+// first use. The returned map is shared and must not be mutated.
+func (mt *MachineTrace) Names() map[types.FileObjectID]string {
+	mt.namesOnce.Do(func() {
+		names := make(map[types.FileObjectID]string)
+		for i := range mt.Records {
+			if mt.Records[i].Kind == tracefmt.EvNameMap {
+				names[mt.Records[i].FileID] = mt.Records[i].NameString()
+			}
 		}
-	}
-	return mt
+		mt.names = names
+	})
+	return mt.names
 }
 
 // PathOf resolves a file-object id to its path ("" when unknown).
-func (mt *MachineTrace) PathOf(id types.FileObjectID) string { return mt.Names[id] }
+func (mt *MachineTrace) PathOf(id types.FileObjectID) string { return mt.Names()[id] }
+
+// BuildInstancesHook, when non-nil, observes every raw instance-table
+// construction — test instrumentation for the build-once discipline.
+// Compute fans machines across workers, so the hook must be safe for
+// concurrent calls.
+var BuildInstancesHook func(machine string)
+
+// Instances returns the machine's §4 instance table, building it on
+// first use and serving every later query from the cache. The returned
+// slice is shared — callers must not mutate it.
+func (mt *MachineTrace) Instances() []*Instance {
+	mt.insOnce.Do(func() { mt.ins = BuildInstances(mt) })
+	return mt.ins
+}
 
 // IsCachePaging reports whether a record is cache-manager-originated
 // paging I/O — the §3.3 "duplicate actions" the analysis must filter from

@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"sort"
-
 	"repro/internal/ntos/types"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -32,11 +30,12 @@ type PagingBurst struct {
 func PagingBursts(mt *MachineTrace) PagingBurst {
 	var times []sim.Time
 	var lazy, ra int
-	for i := range mt.Records {
+	sel := mt.Index().Select( // the Kind.IsPaging set
+		tracefmt.EvPagingRead, tracefmt.EvPagingWrite,
+		tracefmt.EvReadAhead, tracefmt.EvLazyWrite)
+	times = make([]sim.Time, 0, len(sel))
+	for _, i := range sel {
 		r := &mt.Records[i]
-		if !r.Kind.IsPaging() {
-			continue
-		}
 		times = append(times, r.Start)
 		switch r.Kind {
 		case tracefmt.EvLazyWrite:
@@ -49,7 +48,8 @@ func PagingBursts(mt *MachineTrace) PagingBurst {
 	if len(times) < 2 {
 		return pb
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	// times is ascending: index positions are stream positions and the
+	// stream is sorted by start time.
 	gaps := make([]float64, len(times)-1)
 	for i := 1; i < len(times); i++ {
 		gaps[i-1] = times[i].Sub(times[i-1]).Seconds()
@@ -69,9 +69,9 @@ func PagingBursts(mt *MachineTrace) PagingBurst {
 // follow-up. Only disk-bound reads are compared (cache hits cost the same
 // either way).
 func CompressedReads(mt *MachineTrace) (compressed, plain []float64) {
-	for i := range mt.Records {
+	for _, i := range mt.Index().OfKind(tracefmt.EvRead) {
 		r := &mt.Records[i]
-		if r.Kind != tracefmt.EvRead || r.Status.IsError() {
+		if r.Status.IsError() {
 			continue
 		}
 		if r.Annot&tracefmt.AnnotFromCache != 0 {
@@ -102,9 +102,9 @@ type DirOpStats struct {
 func DirectoryThroughput(mt *MachineTrace) DirOpStats {
 	var lats, entries []float64
 	var times []sim.Time
-	for i := range mt.Records {
+	for _, i := range mt.Index().OfKind(tracefmt.EvQueryDirectory) {
 		r := &mt.Records[i]
-		if r.Kind != tracefmt.EvQueryDirectory || r.Status.IsError() {
+		if r.Status.IsError() {
 			continue
 		}
 		lats = append(lats, r.Latency().Microseconds())
@@ -118,8 +118,8 @@ func DirectoryThroughput(mt *MachineTrace) DirOpStats {
 	ls := stats.Summarize(lats)
 	ds.LatencyP50, ds.LatencyP90 = ls.P50, ls.P90
 	ds.EntriesP50 = stats.Summarize(entries).P50
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	gaps := make([]float64, 0, len(times)-1)
+	gaps := make([]float64, 0, len(times)-1) // times already ascending
+
 	for i := 1; i < len(times); i++ {
 		gaps = append(gaps, times[i].Sub(times[i-1]).Seconds())
 	}

@@ -145,6 +145,9 @@ func (in *Instance) Bytes() int64 { return in.BytesRead + in.BytesWritten }
 // filtering); VM paging I/O is not part of any instance either — it is
 // accounted separately by the throughput analyses.
 func BuildInstances(mt *MachineTrace) []*Instance {
+	if BuildInstancesHook != nil {
+		BuildInstancesHook(mt.Name)
+	}
 	var out []*Instance
 	open := map[types.FileObjectID]*Instance{}
 

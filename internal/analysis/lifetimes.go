@@ -122,7 +122,13 @@ func Lifetimes(mt *MachineTrace) LifetimeStats {
 	}
 	live := map[types.FileObjectID]*liveSession{}
 
-	for i := range mt.Records {
+	// The scan only reacts to six event kinds; select exactly those from
+	// the inverted index (positions merge back into stream order, so the
+	// visit order is identical to a full scan).
+	sel := mt.Index().Select(
+		tracefmt.EvCreate, tracefmt.EvWrite, tracefmt.EvFastWrite,
+		tracefmt.EvSetDisposition, tracefmt.EvCleanup, tracefmt.EvClose)
+	for _, i := range sel {
 		r := &mt.Records[i]
 		switch r.Kind {
 		case tracefmt.EvCreate:

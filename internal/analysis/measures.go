@@ -206,39 +206,29 @@ func OpenInterarrivals(ins []*Instance) (dataGaps, controlGaps []float64) {
 // least one open — §8.1's burstiness scalar ("only up to 24% of the
 // 1-second intervals of a user's session have open requests recorded").
 func OpenIntervalOccupancy(mt *MachineTrace) float64 {
-	busy := map[int64]bool{}
-	var lo, hi int64
-	first := true
-	for i := range mt.Records {
-		if !IsOpenAttempt(&mt.Records[i]) {
-			continue
-		}
-		s := int64(mt.Records[i].Start) / int64(sim.Second)
-		busy[s] = true
-		if first || s < lo {
-			lo = s
-		}
-		if first || s > hi {
-			hi = s
-		}
-		first = false
-	}
-	if first || hi == lo {
+	ts := mt.Index().OpenTimes() // ascending
+	if len(ts) == 0 {
 		return 0
 	}
-	return float64(len(busy)) / float64(hi-lo+1)
+	lo := int64(ts[0]) / int64(sim.Second)
+	hi := int64(ts[len(ts)-1]) / int64(sim.Second)
+	if hi == lo {
+		return 0
+	}
+	busy, prev := 0, lo-1
+	for _, t := range ts {
+		if s := int64(t) / int64(sim.Second); s != prev {
+			busy++
+			prev = s
+		}
+	}
+	return float64(busy) / float64(hi-lo+1)
 }
 
 // AllOpenGaps returns inter-arrival gaps (seconds) of every open attempt —
 // the Figure 8/9/10 sample series.
 func AllOpenGaps(mt *MachineTrace) []float64 {
-	var ts []sim.Time
-	for i := range mt.Records {
-		if IsOpenAttempt(&mt.Records[i]) {
-			ts = append(ts, mt.Records[i].Start)
-		}
-	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	ts := mt.Index().OpenTimes() // already ascending
 	out := make([]float64, 0, len(ts))
 	for i := 1; i < len(ts); i++ {
 		out = append(out, ts[i].Sub(ts[i-1]).Seconds())
@@ -259,9 +249,19 @@ type RequestClassSeries struct {
 // RequestClasses extracts the four §10 request populations from raw
 // records. IRP reads/writes include paging I/O — the requests a filter
 // driver sees arriving over the packet path.
+// requestPathKinds are the event kinds that traverse either the FastIO
+// or the IRP packet path — the record population of RequestClasses and
+// FastIOShares.
+var requestPathKinds = []tracefmt.EventKind{
+	tracefmt.EvFastRead, tracefmt.EvFastMdlRead,
+	tracefmt.EvFastWrite, tracefmt.EvFastMdlWrite,
+	tracefmt.EvRead, tracefmt.EvPagingRead, tracefmt.EvReadAhead,
+	tracefmt.EvWrite, tracefmt.EvPagingWrite, tracefmt.EvLazyWrite,
+}
+
 func RequestClasses(mt *MachineTrace) RequestClassSeries {
 	var s RequestClassSeries
-	for i := range mt.Records {
+	for _, i := range mt.Index().Select(requestPathKinds...) {
 		r := &mt.Records[i]
 		if r.Annot&tracefmt.AnnotFastRefused != 0 || r.Status.IsError() {
 			continue
@@ -290,7 +290,7 @@ func RequestClasses(mt *MachineTrace) RequestClassSeries {
 // reads only — FastIO vs non-paging IRP — for ablation comparisons where
 // VM/cache paging traffic would blur the picture.
 func AppReadLatencies(mt *MachineTrace) (fast, irp []float64) {
-	for i := range mt.Records {
+	for _, i := range mt.Index().Select(tracefmt.EvFastRead, tracefmt.EvRead) {
 		r := &mt.Records[i]
 		if r.Annot&tracefmt.AnnotFastRefused != 0 || r.Status.IsError() {
 			continue
@@ -313,7 +313,7 @@ func AppReadLatencies(mt *MachineTrace) (fast, irp []float64) {
 // dominate the comparison.
 func CacheHitReadLatencies(mt *MachineTrace) []float64 {
 	var out []float64
-	for i := range mt.Records {
+	for _, i := range mt.Index().Select(tracefmt.EvFastRead, tracefmt.EvRead) {
 		r := &mt.Records[i]
 		if r.Annot&tracefmt.AnnotFastRefused != 0 || r.Status.IsError() {
 			continue
@@ -333,7 +333,7 @@ func CacheHitReadLatencies(mt *MachineTrace) []float64 {
 // write requests arriving over the FastIO path.
 func FastIOShares(mt *MachineTrace) (readShare, writeShare float64) {
 	var fr, ir, fw, iw int
-	for i := range mt.Records {
+	for _, i := range mt.Index().Select(requestPathKinds...) {
 		r := &mt.Records[i]
 		if r.Annot&tracefmt.AnnotFastRefused != 0 {
 			continue
@@ -418,7 +418,11 @@ func Controls(mt *MachineTrace, ins []*Instance) ControlStats {
 			c.ControlOnly++
 		}
 	}
-	for i := range mt.Records {
+	sel := mt.Index().Select(
+		tracefmt.EvRead, tracefmt.EvFastRead,
+		tracefmt.EvUserFsRequest, tracefmt.EvFastDeviceControl,
+		tracefmt.EvSetEndOfFile)
+	for _, i := range sel {
 		r := &mt.Records[i]
 		switch r.Kind {
 		case tracefmt.EvRead, tracefmt.EvFastRead:
@@ -486,7 +490,10 @@ func Cache(mt *MachineTrace, ins []*Instance) CacheMeasures {
 	// Index read-ahead events by path.
 	type raEvent struct{ at sim.Time }
 	ras := map[string][]raEvent{}
-	for i := range mt.Records {
+	sel := mt.Index().Select(
+		tracefmt.EvRead, tracefmt.EvFastRead, tracefmt.EvReadAhead,
+		tracefmt.EvLazyWrite, tracefmt.EvFlushBuffers)
+	for _, i := range sel {
 		r := &mt.Records[i]
 		switch r.Kind {
 		case tracefmt.EvRead, tracefmt.EvFastRead:
@@ -647,9 +654,17 @@ func UserActivity(ds *DataSet, interval sim.Duration, thresholdBytes float64) Ac
 	// Per machine: bytes per interval index.
 	perMachine := make([]map[int64]float64, len(ds.Machines))
 	var maxIdx int64
+	// Only data transfers and VM paging reads contribute bytes; every
+	// other kind fell through to `continue` in the pre-index scan.
+	activityKinds := []tracefmt.EventKind{
+		tracefmt.EvRead, tracefmt.EvWrite,
+		tracefmt.EvFastRead, tracefmt.EvFastWrite,
+		tracefmt.EvFastMdlRead, tracefmt.EvFastMdlWrite,
+		tracefmt.EvPagingRead,
+	}
 	for mi, mt := range ds.Machines {
 		bins := map[int64]float64{}
-		for i := range mt.Records {
+		for _, i := range mt.Index().Select(activityKinds...) {
 			r := &mt.Records[i]
 			if IsCachePaging(r) {
 				continue

@@ -39,13 +39,8 @@ type key struct {
 // not demand.
 func ExtractReads(mt *analysis.MachineTrace) []Access {
 	var out []Access
-	for i := range mt.Records {
+	for _, i := range mt.Index().Select(tracefmt.EvRead, tracefmt.EvFastRead) {
 		r := &mt.Records[i]
-		switch r.Kind {
-		case tracefmt.EvRead, tracefmt.EvFastRead:
-		default:
-			continue
-		}
 		if r.Annot&tracefmt.AnnotFastRefused != 0 || r.Status.IsError() || r.Returned <= 0 {
 			continue
 		}

@@ -199,9 +199,55 @@ func (s *Store) Records(machine string) ([]tracefmt.Record, error) {
 	if !st.closed {
 		return nil, fmt.Errorf("collect: stream %q not finalized", machine)
 	}
-	zr := flate.NewReader(bytes.NewReader(st.buf.Bytes()))
-	defer zr.Close()
-	return tracefmt.ReadAll(zr)
+	return decodeStream(st.buf.Bytes(), st.count)
+}
+
+// flatePool and readerPool recycle the DEFLATE state (~40 KB of window
+// and tables) and the chunked stream decoder (~200 KB bufio buffer)
+// across decodes: the parallel DataSet fan-out calls Records once per
+// machine, and without pooling those two allocations dominate.
+var (
+	flatePool = sync.Pool{
+		New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+	}
+	readerPool = sync.Pool{
+		New: func() any { return tracefmt.NewReader(bytes.NewReader(nil)) },
+	}
+)
+
+// decodeStream inflates and decodes a finalized stream into a slice
+// pre-sized from the stored record count, so the result is exactly one
+// allocation regardless of stream length. The stored count is trusted
+// but verified: a stream that ends early or holds extra records is a
+// corruption error, not a silent truncation.
+func decodeStream(data []byte, count int) ([]tracefmt.Record, error) {
+	zr := flatePool.Get().(io.ReadCloser)
+	defer flatePool.Put(zr)
+	if err := zr.(flate.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
+		return nil, err
+	}
+	rd := readerPool.Get().(*tracefmt.Reader)
+	defer readerPool.Put(rd)
+	rd.Reset(zr)
+
+	recs := make([]tracefmt.Record, count)
+	for i := range recs {
+		if err := rd.ReadInto(&recs[i]); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("collect: stream ended after %d of %d records", i, count)
+			}
+			return nil, err
+		}
+	}
+	var extra tracefmt.Record
+	switch err := rd.ReadInto(&extra); err {
+	case io.EOF:
+	case nil:
+		return nil, fmt.Errorf("collect: stream holds more than the recorded %d records", count)
+	default:
+		return nil, err
+	}
+	return recs, zr.Close()
 }
 
 // ExportStream copies out one machine's finalized compressed stream and
@@ -325,8 +371,9 @@ func LoadDir(dir string) (*Store, error) {
 		// materializing it.
 		zr := flate.NewReader(bytes.NewReader(data))
 		rd := tracefmt.NewReader(zr)
+		var rec tracefmt.Record
 		for {
-			if _, err := rd.Next(); err != nil {
+			if err := rd.ReadInto(&rec); err != nil {
 				if err != io.EOF {
 					zr.Close()
 					return nil, fmt.Errorf("collect: %s: %w", e.Name(), err)

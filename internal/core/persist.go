@@ -95,7 +95,7 @@ func Load(dir string) (*analysis.DataSet, []*snapshot.Snapshot, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		mt := analysis.NewMachineTrace(name, cats[name], recs)
+		mt := analysis.NewMachineTraceOwned(name, cats[name], recs)
 		mt.ProcNames = procs[name]
 		ds.Machines = append(ds.Machines, mt)
 	}

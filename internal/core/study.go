@@ -429,23 +429,74 @@ func (s *Study) procNames(i int) map[uint32]string {
 	return nil
 }
 
-// DataSet decodes the collected store into the analysis corpus. A machine
-// that produced no records is skipped; any other store failure (decode
-// errors, unfinalized streams) propagates.
+// DataSet decodes the collected store into the analysis corpus on
+// Cfg.Workers-wide parallelism. A machine that produced no records is
+// skipped; any other store failure (decode errors, unfinalized streams)
+// propagates.
 func (s *Study) DataSet() (*analysis.DataSet, error) {
-	ds := &analysis.DataSet{}
-	for i, sp := range s.specs {
+	return s.DataSetWorkers(s.Cfg.Workers)
+}
+
+// DataSetWorkers is DataSet with an explicit decode worker count (0 or 1
+// = sequential, matching the fleet engine's convention). Results are
+// independent of the worker count: machines land in spec order and the
+// first error in spec order wins.
+func (s *Study) DataSetWorkers(workers int) (*analysis.DataSet, error) {
+	type slot struct {
+		mt  *analysis.MachineTrace
+		err error
+	}
+	slots := make([]slot, len(s.specs))
+	decode := func(i int) {
+		sp := s.specs[i]
 		recs, err := s.Store.Records(sp.name)
 		if errors.Is(err, collect.ErrNoRecords) {
 			// A machine may legitimately have produced no records.
-			continue
+			return
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", sp.name, err)
+			slots[i].err = fmt.Errorf("core: %s: %w", sp.name, err)
+			return
 		}
-		mt := analysis.NewMachineTrace(sp.name, sp.cat, recs)
+		// Records hands over a freshly decoded slice nothing else holds,
+		// so the trace can take ownership instead of copying.
+		mt := analysis.NewMachineTraceOwned(sp.name, sp.cat, recs)
 		mt.ProcNames = s.procNames(i)
-		ds.Machines = append(ds.Machines, mt)
+		slots[i].mt = mt
+	}
+	if workers <= 1 {
+		for i := range s.specs {
+			decode(i)
+		}
+	} else {
+		if workers > len(s.specs) {
+			workers = len(s.specs)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					decode(i)
+				}
+			}()
+		}
+		for i := range s.specs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	ds := &analysis.DataSet{}
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+		if slots[i].mt != nil {
+			ds.Machines = append(ds.Machines, slots[i].mt)
+		}
 	}
 	if len(ds.Machines) == 0 {
 		return nil, fmt.Errorf("core: study produced no trace data")

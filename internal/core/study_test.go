@@ -233,3 +233,40 @@ func TestStudyRenderersNonEmpty(t *testing.T) {
 		}
 	}
 }
+
+// TestDataSetWorkersDeterministic pins that the parallel decode pool
+// yields the same corpus as the serial loop: same machines, same order,
+// identical records.
+func TestDataSetWorkersDeterministic(t *testing.T) {
+	s := NewStudy(Config{Seed: 5, Machines: 4, Duration: sim.Hour})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.DataSetWorkers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		ds, err := s.DataSetWorkers(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(ds.Machines) != len(base.Machines) {
+			t.Fatalf("workers=%d: %d machines, want %d", workers, len(ds.Machines), len(base.Machines))
+		}
+		for i, mt := range ds.Machines {
+			want := base.Machines[i]
+			if mt.Name != want.Name {
+				t.Fatalf("workers=%d machine %d = %q, want %q", workers, i, mt.Name, want.Name)
+			}
+			if len(mt.Records) != len(want.Records) {
+				t.Fatalf("workers=%d %s: %d records, want %d", workers, mt.Name, len(mt.Records), len(want.Records))
+			}
+			for j := range mt.Records {
+				if mt.Records[j] != want.Records[j] {
+					t.Fatalf("workers=%d %s: record %d differs", workers, mt.Name, j)
+				}
+			}
+		}
+	}
+}

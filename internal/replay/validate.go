@@ -43,7 +43,7 @@ func Measure(ds *analysis.DataSet) Metrics {
 
 	for _, mt := range ds.Machines {
 		mx.Machines++
-		ins := analysis.BuildInstances(mt)
+		ins := mt.Instances()
 		for _, in := range ins {
 			if in.Failed {
 				mx.FailedOpens++

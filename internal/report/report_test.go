@@ -2,6 +2,7 @@ package report
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/analysis"
@@ -11,8 +12,10 @@ import (
 	"repro/internal/tracefmt"
 )
 
-// synth builds a small two-machine data set with known contents.
-func synth(t *testing.T) *Results {
+// synthDS builds a small two-machine data set with known contents. Each
+// call returns fresh MachineTraces so lazily derived state (instances,
+// indexes) never leaks between computations under test.
+func synthDS(t *testing.T) *analysis.DataSet {
 	t.Helper()
 	mk := func(name string, n int) *analysis.MachineTrace {
 		var recs []tracefmt.Record
@@ -40,8 +43,65 @@ func synth(t *testing.T) *Results {
 		}
 		return analysis.NewMachineTrace(name, machine.Personal, recs)
 	}
-	ds := &analysis.DataSet{Machines: []*analysis.MachineTrace{mk("a", 30), mk("b", 50)}}
-	return Compute(ds)
+	return &analysis.DataSet{Machines: []*analysis.MachineTrace{mk("a", 30), mk("b", 50)}}
+}
+
+func synth(t *testing.T) *Results {
+	t.Helper()
+	return Compute(synthDS(t))
+}
+
+// renderAll concatenates every report artefact — the full observable
+// output of a Results.
+func renderAll(r *Results) string {
+	var b strings.Builder
+	for _, f := range []func() string{
+		r.Table1, r.Table2, r.Table3, r.Figure1, r.Figure2, r.Figure3,
+		r.Figure4, r.Figure5, r.Figure6, r.Figure7, r.Figure8, r.Figure9,
+		r.Figure10, r.Figure11, r.Figure12, r.Figure13, r.Figure14,
+		r.Section6Lifetimes, r.Section7SelfSim, r.Section8, r.Section9,
+		r.Section10, r.ProcessView, r.TypeView, r.FollowUps,
+	} {
+		b.WriteString(f())
+	}
+	b.WriteString(r.CacheSweep([]float64{1, 4}))
+	return b.String()
+}
+
+func TestComputeWorkersDeterministic(t *testing.T) {
+	// Parallel Compute must be byte-identical to serial at any worker
+	// count — the same invariant the fleet engine pins with stream hashes.
+	want := renderAll(ComputeWorkers(synthDS(t), 1))
+	for _, workers := range []int{4, 8} {
+		got := renderAll(ComputeWorkers(synthDS(t), workers))
+		if got != want {
+			t.Errorf("workers=%d render differs from serial", workers)
+		}
+	}
+}
+
+func TestBuildInstancesOncePerMachine(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	analysis.BuildInstancesHook = func(m string) {
+		mu.Lock()
+		counts[m]++
+		mu.Unlock()
+	}
+	defer func() { analysis.BuildInstancesHook = nil }()
+
+	r := Compute(synthDS(t))
+	// Rendering every figure — several of which consume the instance
+	// table — must not trigger any rebuild.
+	_ = renderAll(r)
+	if len(counts) != 2 {
+		t.Fatalf("machines built = %d, want 2", len(counts))
+	}
+	for m, n := range counts {
+		if n != 1 {
+			t.Errorf("BuildInstances ran %d times for %s, want 1", n, m)
+		}
+	}
 }
 
 func TestComputeAggregates(t *testing.T) {

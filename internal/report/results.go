@@ -7,8 +7,10 @@ package report
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/sim"
@@ -35,20 +37,76 @@ type Results struct {
 	ReadShares, WriteShares []float64
 }
 
-// Compute builds Results from a data set.
+// machineMeasures is everything Compute derives from a single machine —
+// the unit of the worker fan-out.
+type machineMeasures struct {
+	ins    []*analysis.Instance
+	lt     analysis.LifetimeStats
+	c      analysis.ControlStats
+	cm     analysis.CacheMeasures
+	ru     analysis.ReuseStats
+	rs, ws float64
+}
+
+// Compute builds Results from a data set, fanning machines across
+// GOMAXPROCS workers. Output is identical to ComputeWorkers(ds, 1): the
+// merge runs serially in corpus order over slot-indexed results.
 func Compute(ds *analysis.DataSet) *Results {
+	return ComputeWorkers(ds, runtime.GOMAXPROCS(0))
+}
+
+// ComputeWorkers is Compute with an explicit worker count (0 or 1 =
+// sequential).
+func ComputeWorkers(ds *analysis.DataSet, workers int) *Results {
+	slots := make([]machineMeasures, len(ds.Machines))
+	measure := func(i int) {
+		mt := ds.Machines[i]
+		m := &slots[i]
+		m.ins = mt.Instances()
+		m.lt = analysis.Lifetimes(mt)
+		m.c = analysis.Controls(mt, m.ins)
+		m.cm = analysis.Cache(mt, m.ins)
+		m.ru = analysis.Reuse(m.ins)
+		m.rs, m.ws = analysis.FastIOShares(mt)
+	}
+	if workers <= 1 {
+		for i := range ds.Machines {
+			measure(i)
+		}
+	} else {
+		if workers > len(ds.Machines) {
+			workers = len(ds.Machines)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					measure(i)
+				}
+			}()
+		}
+		for i := range ds.Machines {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
 	r := &Results{DS: ds, PerMachine: map[string][]*analysis.Instance{}}
-	for _, mt := range ds.Machines {
-		ins := analysis.BuildInstances(mt)
+	for mi, mt := range ds.Machines {
+		ins := slots[mi].ins
 		r.PerMachine[mt.Name] = ins
 		r.All = append(r.All, ins...)
 
-		lt := analysis.Lifetimes(mt)
+		lt := slots[mi].lt
 		r.Lifetimes.Samples = append(r.Lifetimes.Samples, lt.Samples...)
 		r.Lifetimes.Births += lt.Births
 		r.Lifetimes.SurvivorCount += lt.SurvivorCount
 
-		c := analysis.Controls(mt, ins)
+		c := slots[mi].c
 		r.Controls.Opens += c.Opens
 		r.Controls.FailedOpens += c.FailedOpens
 		r.Controls.ControlOnly += c.ControlOnly
@@ -59,7 +117,7 @@ func Compute(ds *analysis.DataSet) *Results {
 		r.Controls.VolumeMountedOps += c.VolumeMountedOps
 		r.Controls.SetEndOfFileOps += c.SetEndOfFileOps
 
-		cm := analysis.Cache(mt, ins)
+		cm := slots[mi].cm
 		r.Cache.Reads += cm.Reads
 		r.Cache.ReadsFromCache += cm.ReadsFromCache
 		r.Cache.ReadSessions += cm.ReadSessions
@@ -72,7 +130,7 @@ func Compute(ds *analysis.DataSet) *Results {
 		r.Cache.CacheDisabledSessions += cm.CacheDisabledSessions
 		r.Cache.DataSessions += cm.DataSessions
 
-		ru := analysis.Reuse(ins)
+		ru := slots[mi].ru
 		r.Reuse.ReadOnlyPaths += ru.ReadOnlyPaths
 		r.Reuse.ReadOnlyReopened += ru.ReadOnlyReopened
 		r.Reuse.WriteOnlyPaths += ru.WriteOnlyPaths
@@ -81,7 +139,7 @@ func Compute(ds *analysis.DataSet) *Results {
 		r.Reuse.ReadWritePaths += ru.ReadWritePaths
 		r.Reuse.ReadWriteReopened += ru.ReadWriteReopened
 
-		rs, ws := analysis.FastIOShares(mt)
+		rs, ws := slots[mi].rs, slots[mi].ws
 		r.ReadShares = append(r.ReadShares, rs)
 		r.WriteShares = append(r.WriteShares, ws)
 	}
@@ -179,21 +237,22 @@ func (r *Results) TotalRecords() int {
 	return n
 }
 
-// Duration returns the trace time span.
+// Duration returns the trace time span. Records are sorted by start
+// time, so each machine contributes its first and last record only.
 func (r *Results) Duration() sim.Duration {
 	var lo, hi sim.Time
 	first := true
 	for _, mt := range r.DS.Machines {
-		for i := range mt.Records {
-			t := mt.Records[i].Start
-			if first || t < lo {
-				lo = t
-			}
-			if first || t > hi {
-				hi = t
-			}
-			first = false
+		if len(mt.Records) == 0 {
+			continue
 		}
+		if t := mt.Records[0].Start; first || t < lo {
+			lo = t
+		}
+		if t := mt.Records[len(mt.Records)-1].Start; first || t > hi {
+			hi = t
+		}
+		first = false
 	}
 	return hi.Sub(lo)
 }

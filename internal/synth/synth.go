@@ -160,7 +160,7 @@ func Fit(ds *analysis.DataSet) Profile {
 	var gaps, sessionBytes, readSizes, writeSizes []float64
 	var control, ro, wo, rw, failed, total int
 	for _, mt := range ds.Machines {
-		ins := analysis.BuildInstances(mt)
+		ins := mt.Instances()
 		var prev sim.Time
 		first := true
 		for _, in := range ins {

@@ -17,6 +17,10 @@ const ReaderChunkRecords = 3000
 type Reader struct {
 	br    *bufio.Reader
 	count int
+	// buf is the per-record scratch buffer. A field rather than a local:
+	// passing a stack array's slice through the io.Reader interface makes
+	// it escape, costing one heap allocation per record.
+	buf [RecordSize]byte
 }
 
 // NewReader returns a streaming decoder over r.
@@ -27,28 +31,44 @@ func NewReader(r io.Reader) *Reader {
 // Count reports how many records have been decoded so far.
 func (rd *Reader) Count() int { return rd.count }
 
+// Reset re-targets the reader at a new stream, reusing its chunk buffer.
+// It exists so decode worker pools can recycle readers instead of paying
+// the ~200 KB bufio allocation per stream.
+func (rd *Reader) Reset(r io.Reader) {
+	rd.br.Reset(r)
+	rd.count = 0
+}
+
 // Next decodes and returns the next record. It returns io.EOF at a clean
 // end of stream, and an error describing the stray byte count when the
 // stream ends inside a record.
 func (rd *Reader) Next() (*Record, error) {
-	var buf [RecordSize]byte
-	n, err := io.ReadFull(rd.br, buf[:])
+	rec := new(Record)
+	if err := rd.ReadInto(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ReadInto decodes the next record into rec, the allocation-free variant
+// of Next for callers that own their record storage.
+func (rd *Reader) ReadInto(rec *Record) error {
+	n, err := io.ReadFull(rd.br, rd.buf[:])
 	switch err {
 	case nil:
 	case io.EOF:
-		return nil, io.EOF
+		return io.EOF
 	case io.ErrUnexpectedEOF:
-		return nil, fmt.Errorf("tracefmt: truncated stream: %d stray bytes after %d records",
+		return fmt.Errorf("tracefmt: truncated stream: %d stray bytes after %d records",
 			n, rd.count)
 	default:
-		return nil, err
+		return err
 	}
-	rec := new(Record)
-	if _, err := rec.Decode(buf[:]); err != nil {
-		return nil, err
+	if _, err := rec.Decode(rd.buf[:]); err != nil {
+		return err
 	}
 	rd.count++
-	return rec, nil
+	return nil
 }
 
 // ReadAll decodes all records from r until EOF, streaming in fixed-size

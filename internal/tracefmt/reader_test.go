@@ -61,6 +61,64 @@ func TestReaderTruncatedStream(t *testing.T) {
 	}
 }
 
+// TestReadIntoAllocationFree pins the pooled decode contract: after the
+// reader exists, streaming any number of records through ReadInto plus a
+// Reset costs zero heap allocations.
+func TestReadIntoAllocationFree(t *testing.T) {
+	const n = 2048
+	var buf bytes.Buffer
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = sampleRecord()
+		recs[i].Offset = int64(i)
+	}
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	rd := NewReader(bytes.NewReader(nil))
+	src := bytes.NewReader(nil)
+	var rec Record
+	allocs := testing.AllocsPerRun(5, func() {
+		src.Reset(data)
+		rd.Reset(src)
+		for i := 0; i < n; i++ {
+			if err := rd.ReadInto(&rec); err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+		}
+		if err := rd.ReadInto(&rec); err != io.EOF {
+			t.Fatalf("want EOF after %d records, got %v", n, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ReadInto loop allocated %.0f times, want 0", allocs)
+	}
+}
+
+func TestResetReusesReader(t *testing.T) {
+	r1, r2 := sampleRecord(), sampleRecord()
+	r2.Kind = EvWrite
+
+	rd := NewReader(bytes.NewReader(r1.Encode(nil)))
+	got1, err := rd.Next()
+	if err != nil || *got1 != r1 {
+		t.Fatalf("first stream: %v %+v", err, got1)
+	}
+	rd.Reset(bytes.NewReader(r2.Encode(nil)))
+	if rd.Count() != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", rd.Count())
+	}
+	got2, err := rd.Next()
+	if err != nil || *got2 != r2 {
+		t.Fatalf("second stream: %v %+v", err, got2)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
 func TestReadAllMatchesReader(t *testing.T) {
 	var buf bytes.Buffer
 	recs := []Record{sampleRecord(), sampleRecord(), sampleRecord()}
