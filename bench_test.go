@@ -17,6 +17,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -691,4 +692,46 @@ func BenchmarkFleet(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsHotPath measures the observability primitives on their hot
+// paths: a counter increment and a histogram observation, sequential and
+// under contention. The counter path must be allocation-free — it sits on
+// every IRP dispatch and cache read of every simulated machine, so any
+// per-op allocation would dominate the fleet's heap churn.
+func BenchmarkObsHotPath(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_ops_total", "hot-path counter")
+	h := r.Histogram("bench_latency_ticks", "hot-path histogram")
+
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i))
+		}
+	})
+	b.Run("counter-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			var i int64
+			for pb.Next() {
+				h.Observe(i)
+				i++
+			}
+		})
+	})
 }

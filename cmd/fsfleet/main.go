@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -37,6 +39,8 @@ import (
 	"repro/internal/agent"
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -59,11 +63,26 @@ func main() {
 		collAddr = flag.String("collect", "", "ship trace streams to a live collection server at this address (corpus lives server-side)")
 		spill    = flag.Int("spill", 0, "per-agent spill-ring capacity in buffers for -collect (0 = default 64)")
 		serve    = flag.String("serve", "", "run as a collection server on this listen address (with -out; fleet flags ignored)")
+		metrics  = flag.String("metrics-addr", "", "serve live Prometheus-text /metrics and /debug/pprof on this address")
+		top      = flag.Bool("top", false, "repaint a top(1)-style per-shard view instead of one-line progress")
 	)
 	flag.Parse()
 
+	// One registry instruments the whole process (fleet run or collection
+	// server). Metrics are observational only: the corpus is byte-identical
+	// with or without them.
+	reg := obs.NewRegistry()
+	if *metrics != "" {
+		ms, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ms.Addr)
+	}
+
 	if *serve != "" {
-		runServer(*serve, *out)
+		runServer(*serve, *out, reg)
 		return
 	}
 
@@ -90,6 +109,7 @@ func main() {
 		Resume:          *resume,
 		CollectAddr:     *collAddr,
 		NetSink:         agent.NetSinkConfig{SpillSlots: *spill},
+		Obs:             reg,
 	})
 
 	st := study.Engine.Status()
@@ -105,7 +125,25 @@ func main() {
 	defer stop()
 
 	done := make(chan struct{})
-	if *interval > 0 {
+	if *top {
+		ivl := *interval
+		if ivl <= 0 {
+			ivl = time.Second
+		}
+		go func() {
+			t := time.NewTicker(ivl)
+			defer t.Stop()
+			prev := 0
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					prev = repaintTop(study.Engine.Status(), prev)
+				}
+			}
+		}()
+	} else if *interval > 0 {
 		go func() {
 			t := time.NewTicker(*interval)
 			defer t.Stop()
@@ -136,6 +174,12 @@ func main() {
 
 	st = study.Engine.Status()
 	fmt.Fprintf(os.Stderr, "finished in %s: %s\n", time.Since(start).Round(time.Second), st)
+
+	// End-of-run telemetry snapshot beside the corpus (the checkpoint-dir
+	// copy is written by the fleet engine, even on interrupted runs).
+	if err := reg.WriteSnapshot(filepath.Join(*out, "obs.json")); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: obs snapshot: %v\n", err)
+	}
 
 	if *collAddr != "" {
 		// The corpus lives on the collection server; report delivery
@@ -168,17 +212,32 @@ func main() {
 	fmt.Fprintf(os.Stderr, "saved corpus to %s\n", *out)
 }
 
+// repaintTop redraws the top(1)-style fleet view in place, erasing to the
+// end of every line so shrinking cells leave no residue; prev is the line
+// count of the previous frame. Returns this frame's line count.
+func repaintTop(st fleet.Status, prev int) int {
+	var buf bytes.Buffer
+	st.RenderTop(&buf)
+	lines := bytes.Count(buf.Bytes(), []byte{'\n'})
+	if prev > 0 {
+		fmt.Fprintf(os.Stderr, "\033[%dA", prev)
+	}
+	out := bytes.ReplaceAll(buf.Bytes(), []byte{'\n'}, []byte("\033[K\n"))
+	os.Stderr.Write(out)
+	return lines
+}
+
 // runServer runs a collection server until SIGINT/SIGTERM, then saves the
 // gathered corpus to out. Mid-stream truncations (agent died after the
 // handshake) are reported with machine name and frame count; agents that
 // reconnect resend idempotently, so truncation alone is not data loss.
-func runServer(addr, out string) {
+func runServer(addr, out string, reg *obs.Registry) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	store := collect.NewStore()
-	srv := collect.Serve(ln, store)
+	srv := collect.ServeObs(ln, store, reg)
 	fmt.Fprintf(os.Stderr, "collection server listening on %s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -196,6 +255,9 @@ func runServer(addr, out string) {
 		store.TotalRecords(), len(store.Machines()))
 	if err := store.SaveDir(out); err != nil {
 		log.Fatal(err)
+	}
+	if err := reg.WriteSnapshot(filepath.Join(out, "obs.json")); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: obs snapshot: %v\n", err)
 	}
 	fmt.Fprintf(os.Stderr, "saved corpus to %s\n", out)
 }

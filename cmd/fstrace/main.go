@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -34,8 +35,19 @@ func main() {
 		workers  = flag.Int("workers", 1, "machine shards running concurrently (results are identical at any count)")
 		collAddr = flag.String("collect", "", "ship trace streams to a live collection server at this address (corpus lives server-side)")
 		spill    = flag.Int("spill", 0, "per-agent spill-ring capacity in buffers for -collect (0 = default 64)")
+		metrics  = flag.String("metrics-addr", "", "serve live Prometheus-text /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *metrics != "" {
+		ms, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ms.Addr)
+	}
 
 	study := core.NewStudy(core.Config{
 		Seed:            *seed,
@@ -47,6 +59,7 @@ func main() {
 		Workers:         *workers,
 		CollectAddr:     *collAddr,
 		NetSink:         agent.NetSinkConfig{SpillSlots: *spill},
+		Obs:             reg,
 	})
 	fmt.Fprintf(os.Stderr, "running %d machines for %.1f simulated hours (seed %d)...\n",
 		*machines, *hours, *seed)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/collect"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/tracefmt"
 )
@@ -38,7 +39,7 @@ type NetSink struct {
 	ring     []spillEntry // circular: [head, head+count)
 	head     int
 	count    int
-	stats    NetStats
+	m        netMetrics
 
 	// Snapshots taken while this sink was active.
 	Snaps []*snapshot.Snapshot
@@ -66,16 +67,62 @@ type NetSinkConfig struct {
 	// of starting disconnected with the retrier spilling buffers until
 	// the server appears.
 	Eager bool
+	// Obs, when set, registers the sink's delivery accounting as
+	// machine-labeled metric series. The counters exist either way — they
+	// ARE the accounting (NetStats is a view over them); the registry only
+	// decides whether they are exported.
+	Obs *obs.Registry
 }
 
 // NetStats is a sink's delivery accounting. Shipped+Lost covers every
 // record handed to the sink: nothing is dropped without being counted.
+// It is a point-in-time view over the sink's obs counters — the counters
+// are the single source of truth.
 type NetStats struct {
 	Shipped    uint64 // records confirmed stored by the server
 	Lost       uint64 // records dropped: ring overflow or unflushed at Close
 	SendErrors uint64 // failed ships (each triggers spill + reconnect)
 	Reconnects uint64 // successful re-dials after a failure
 	Spilled    uint64 // buffers that took the spill ring
+}
+
+// netMetrics is the sink's live accounting: obs counters either
+// standalone (no registry) or registered as machine-labeled series.
+type netMetrics struct {
+	shipped    *obs.Counter
+	lost       *obs.Counter
+	sendErrors *obs.Counter
+	reconnects *obs.Counter
+	spilled    *obs.Counter
+	ringOcc    *obs.Gauge
+}
+
+func newNetMetrics(r *obs.Registry, machine string) netMetrics {
+	if r == nil {
+		return netMetrics{
+			shipped:    obs.NewCounter(),
+			lost:       obs.NewCounter(),
+			sendErrors: obs.NewCounter(),
+			reconnects: obs.NewCounter(),
+			spilled:    obs.NewCounter(),
+			ringOcc:    obs.NewGauge(),
+		}
+	}
+	lb := obs.Label{Key: "machine", Value: machine}
+	return netMetrics{
+		shipped: r.Counter("agent_net_shipped_records_total",
+			"trace records confirmed stored by the collection server", lb),
+		lost: r.Counter("agent_net_lost_records_total",
+			"trace records dropped: spill-ring overflow or unflushed at close", lb),
+		sendErrors: r.Counter("agent_net_send_errors_total",
+			"failed frame sends (each triggers spill + reconnect)", lb),
+		reconnects: r.Counter("agent_net_reconnects_total",
+			"successful re-dials after a connection failure", lb),
+		spilled: r.Counter("agent_net_spilled_buffers_total",
+			"trace buffers that took the spill ring", lb),
+		ringOcc: r.Gauge("agent_net_spill_ring_occupancy",
+			"spill-ring slots currently holding undelivered buffers", lb),
+	}
 }
 
 // Add accumulates another sink's accounting (fleet-level totals).
@@ -117,7 +164,9 @@ func NewNetSinkConfig(addr, machine string, cfg NetSinkConfig) (*NetSink, error)
 	if cfg.Dial == nil {
 		cfg.Dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
 	}
-	n := &NetSink{addr: addr, machine: machine, cfg: cfg, ring: make([]spillEntry, cfg.SpillSlots)}
+	n := &NetSink{addr: addr, machine: machine, cfg: cfg,
+		ring: make([]spillEntry, cfg.SpillSlots),
+		m:    newNetMetrics(cfg.Obs, machine)}
 	c, err := n.dial()
 	switch {
 	case err == nil:
@@ -152,17 +201,17 @@ func (n *NetSink) TraceBuffer(mch string, recs []tracefmt.Record) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		n.stats.Lost += uint64(len(recs))
+		n.m.lost.Add(uint64(len(recs)))
 		return
 	}
 	n.nextSeq++
 	seq := n.nextSeq
 	if n.up && n.count == 0 {
 		if err := n.client.SendSeq(seq, recs); err == nil {
-			n.stats.Shipped += uint64(len(recs))
+			n.m.shipped.Add(uint64(len(recs)))
 			return
 		}
-		n.stats.SendErrors++
+		n.m.sendErrors.Inc()
 		n.client.Close()
 		n.client = nil
 		n.up = false
@@ -173,18 +222,20 @@ func (n *NetSink) TraceBuffer(mch string, recs []tracefmt.Record) {
 
 func (n *NetSink) spillLocked(seq uint64, recs []tracefmt.Record) {
 	if n.count == len(n.ring) {
-		n.stats.Lost += uint64(len(recs))
+		n.m.lost.Add(uint64(len(recs)))
 		return
 	}
 	n.ring[(n.head+n.count)%len(n.ring)] = spillEntry{seq: seq, recs: recs}
 	n.count++
-	n.stats.Spilled++
+	n.m.spilled.Inc()
+	n.m.ringOcc.Set(int64(n.count))
 }
 
 func (n *NetSink) popLocked() {
 	n.ring[n.head] = spillEntry{}
 	n.head = (n.head + 1) % len(n.ring)
 	n.count--
+	n.m.ringOcc.Set(int64(n.count))
 }
 
 func (n *NetSink) startRetrierLocked() {
@@ -223,11 +274,11 @@ func (n *NetSink) retryLoop() {
 			return
 		}
 		n.client = c
-		n.stats.Reconnects++
+		n.m.reconnects.Inc()
 		// Frames the server already has need no resend; they were stored
 		// before the last connection died, so they count as shipped.
 		for n.count > 0 && n.ring[n.head].seq <= c.LastAcked() {
-			n.stats.Shipped += uint64(len(n.ring[n.head].recs))
+			n.m.shipped.Add(uint64(len(n.ring[n.head].recs)))
 			n.popLocked()
 		}
 		// Drain the rest in order; a failure goes back to dialing. New
@@ -236,13 +287,13 @@ func (n *NetSink) retryLoop() {
 		for n.count > 0 {
 			e := n.ring[n.head]
 			if err := c.SendSeq(e.seq, e.recs); err != nil {
-				n.stats.SendErrors++
+				n.m.sendErrors.Inc()
 				c.Close()
 				n.client = nil
 				drained = false
 				break
 			}
-			n.stats.Shipped += uint64(len(e.recs))
+			n.m.shipped.Add(uint64(len(e.recs)))
 			n.popLocked()
 		}
 		if drained {
@@ -262,11 +313,18 @@ func (n *NetSink) Snapshot(s *snapshot.Snapshot) {
 	n.Snaps = append(n.Snaps, s)
 }
 
-// Stats returns a consistent copy of the delivery accounting.
+// Stats returns a consistent copy of the delivery accounting — a view
+// over the sink's obs counters.
 func (n *NetSink) Stats() NetStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.stats
+	return NetStats{
+		Shipped:    n.m.shipped.Value(),
+		Lost:       n.m.lost.Value(),
+		SendErrors: n.m.sendErrors.Value(),
+		Reconnects: n.m.reconnects.Value(),
+		Spilled:    n.m.spilled.Value(),
+	}
 }
 
 // Connected reports whether the sink is in direct-send state (link up,
@@ -294,9 +352,10 @@ func (n *NetSink) Close() error {
 	// mu held.
 	n.closed = true
 	for i := 0; i < n.count; i++ {
-		n.stats.Lost += uint64(len(n.ring[(n.head+i)%len(n.ring)].recs))
+		n.m.lost.Add(uint64(len(n.ring[(n.head+i)%len(n.ring)].recs)))
 	}
 	n.count = 0
+	n.m.ringOcc.Set(0)
 	client := n.client
 	n.client = nil
 	n.up = false

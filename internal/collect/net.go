@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tracefmt"
 )
 
@@ -82,6 +83,7 @@ type Server struct {
 	store *Store
 	ln    net.Listener
 	wg    sync.WaitGroup
+	m     serverMetrics
 
 	mu     sync.Mutex
 	seen   map[string]uint64 // highest frame seq stored per machine
@@ -89,9 +91,49 @@ type Server struct {
 	closed bool
 }
 
+// serverMetrics is the collection side of the wire-fault accounting:
+// standalone counters when unobserved, registered series otherwise.
+type serverMetrics struct {
+	connections *obs.Counter
+	frames      *obs.Counter
+	records     *obs.Counter
+	deduped     *obs.Counter
+	truncations *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	if r == nil {
+		return serverMetrics{
+			connections: obs.NewCounter(),
+			frames:      obs.NewCounter(),
+			records:     obs.NewCounter(),
+			deduped:     obs.NewCounter(),
+			truncations: obs.NewCounter(),
+		}
+	}
+	return serverMetrics{
+		connections: r.Counter("collect_connections_total",
+			"agent connections accepted"),
+		frames: r.Counter("collect_frames_stored_total",
+			"frames stored (and acked) across all machines"),
+		records: r.Counter("collect_records_stored_total",
+			"trace records stored across all machines"),
+		deduped: r.Counter("collect_resends_deduped_total",
+			"resent frames dropped by sequence number after a reconnect"),
+		truncations: r.Counter("collect_truncations_total",
+			"connections that died mid-stream (TruncatedError)"),
+	}
+}
+
 // Serve starts accepting on ln, storing into store.
 func Serve(ln net.Listener, store *Store) *Server {
-	s := &Server{store: store, ln: ln, seen: map[string]uint64{}}
+	return ServeObs(ln, store, nil)
+}
+
+// ServeObs is Serve with the server's accounting registered on r
+// (nil r = unobserved standalone counters).
+func ServeObs(ln net.Listener, store *Store, r *obs.Registry) *Server {
+	s := &Server{store: store, ln: ln, seen: map[string]uint64{}, m: newServerMetrics(r)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -111,6 +153,10 @@ func (s *Server) acceptLoop() {
 		go func() {
 			defer s.wg.Done()
 			if err := s.handle(conn); err != nil && !errors.Is(err, errEarlyEOF) {
+				var te *TruncatedError
+				if errors.As(err, &te) {
+					s.m.truncations.Inc()
+				}
 				s.mu.Lock()
 				s.errs = append(s.errs, err)
 				s.mu.Unlock()
@@ -160,6 +206,7 @@ func (s *Server) handle(conn net.Conn) error {
 		return errEarlyEOF
 	}
 	machine := string(nameBuf)
+	s.m.connections.Inc()
 	if err := writeAck(conn, s.lastSeq(machine)); err != nil {
 		return &TruncatedError{Machine: machine, Err: err}
 	}
@@ -213,6 +260,10 @@ func (s *Server) handle(conn net.Conn) error {
 			s.mu.Unlock()
 			frames++
 			records += int(count)
+			s.m.frames.Inc()
+			s.m.records.Add(uint64(count))
+		} else {
+			s.m.deduped.Inc()
 		}
 		if err := writeAck(conn, s.lastSeq(machine)); err != nil {
 			return trunc(err)

@@ -14,8 +14,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/analysis"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/ntos/irp"
 	"repro/internal/ntos/machine"
 	"repro/internal/ntos/volume"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -74,6 +77,12 @@ type Config struct {
 	// Resume loads matching checkpoints from CheckpointDir instead of
 	// re-running those machines.
 	Resume bool
+
+	// Obs, when set, instruments the whole stack — NT layers, trace
+	// drivers, network sinks, fleet shards, analysis workers — on this
+	// registry. Instrumentation is purely observational: the collected
+	// corpus is byte-identical with Obs set or nil.
+	Obs *obs.Registry
 }
 
 // categoryMix is the §2 fleet composition, proportions of 45.
@@ -129,6 +138,12 @@ type Study struct {
 	specs    []spec
 	restored []*fleet.Restored
 	ran      bool
+
+	// mObs is the shared per-layer instrumentation bundle (nil when
+	// Cfg.Obs is nil); decodeHist/computeHist time the analysis workers.
+	mObs        *machine.Obs
+	decodeHist  *obs.Histogram
+	computeHist *obs.Histogram
 }
 
 // fleetSpecs lays out the machine fleet: the paper's 45-machine category
@@ -211,11 +226,21 @@ func NewStudy(cfg Config) *Study {
 		Cfg:   cfg,
 		Store: collect.NewStore(),
 	}
+	s.mObs = machine.NewObs(cfg.Obs)
+	if cfg.Obs != nil {
+		s.decodeHist = cfg.Obs.Histogram("analysis_decode_machine_us",
+			"Wall-clock microseconds to decode one machine's trace stream.")
+		s.computeHist = cfg.Obs.Histogram("report_compute_machine_us",
+			"Wall-clock microseconds to derive one machine's measures.")
+		cfg.Obs.Gauge("study_machines", "Planned fleet size of the study.").Set(int64(cfg.Machines))
+		cfg.Obs.Gauge("study_duration_ticks", "Configured traced period in 100ns ticks.").Set(int64(cfg.Duration))
+	}
 	s.Engine = fleet.New(fleet.Config{
 		Duration:      cfg.Duration,
 		Workers:       cfg.Workers,
 		CheckpointDir: cfg.CheckpointDir,
 		Remote:        cfg.CollectAddr != "",
+		Obs:           cfg.Obs,
 	}, s.Store)
 
 	s.specs = fleetSpecs(cfg.Machines)
@@ -292,6 +317,7 @@ func (s *Study) buildNode(idx int, rng *sim.RNG) {
 				node.Agent.Flush(recs)
 			}
 		},
+		Obs: s.mObs,
 	})
 	node.M = m
 
@@ -331,6 +357,7 @@ func (s *Study) buildNode(idx int, rng *sim.RNG) {
 	if s.Cfg.CollectAddr != "" {
 		nsCfg := s.Cfg.NetSink
 		nsCfg.Eager = false // build must not fail on a refusal window; the sink spills until the server appears
+		nsCfg.Obs = s.Cfg.Obs
 		node.Net, _ = agent.NewNetSinkConfig(s.Cfg.CollectAddr, sp.name, nsCfg)
 		sink = &netNodeSink{engine: s.Engine, net: node.Net}
 	}
@@ -448,6 +475,8 @@ func (s *Study) DataSetWorkers(workers int) (*analysis.DataSet, error) {
 	}
 	slots := make([]slot, len(s.specs))
 	decode := func(i int) {
+		start := time.Now()
+		defer func() { s.decodeHist.ObserveWall(time.Since(start)) }()
 		sp := s.specs[i]
 		recs, err := s.Store.Records(sp.name)
 		if errors.Is(err, collect.ErrNoRecords) {
@@ -510,7 +539,7 @@ func (s *Study) Results() (*report.Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return report.Compute(ds), nil
+	return report.ComputeWorkersObs(ds, runtime.GOMAXPROCS(0), s.computeHist), nil
 }
 
 // TotalEvents reports collected record counts across machines.

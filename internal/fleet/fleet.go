@@ -23,7 +23,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"path/filepath"
+
 	"repro/internal/collect"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/tracefmt"
@@ -82,6 +85,11 @@ type Config struct {
 	// via CountRecords, the local store is neither finalized nor
 	// checkpointed (the server owns the corpus), and Restore is refused.
 	Remote bool
+	// Obs, when set, exports the per-shard progress gauges as
+	// shard-labeled series and the fleet aggregates as derived gauges
+	// refreshed on every gather. The gauges exist either way — they ARE
+	// the engine's progress bookkeeping (Status is a view over them).
+	Obs *obs.Registry
 }
 
 // shard states.
@@ -100,12 +108,14 @@ type shard struct {
 	sched *sim.Scheduler
 	hooks Hooks
 
-	state   atomic.Int32
-	simNow  atomic.Int64  // virtual clock, ticks
-	events  atomic.Uint64 // scheduler events run
-	records atomic.Int64  // trace records collected
-	started atomic.Int64  // wall time, unix nanos (0 = not started)
-	ended   atomic.Int64
+	state atomic.Int32
+	// Progress lives in obs gauges — bare (unregistered) ones when the
+	// engine runs without a registry, shard-labeled series otherwise.
+	simNow  *obs.Gauge // virtual clock, ticks
+	events  *obs.Gauge // scheduler events run
+	records *obs.Gauge // trace records collected
+	started *obs.Gauge // wall time, unix nanos (0 = not started)
+	ended   *obs.Gauge
 
 	appendMu  sync.Mutex
 	appendErr error
@@ -127,6 +137,15 @@ type Engine struct {
 	cfg   Config
 	store *collect.Store
 
+	// Fleet-level aggregates, recomputed by Status (and therefore by the
+	// registry's gather hook before every export).
+	aggEventsPerSec *obs.FloatGauge
+	aggSimRatio     *obs.FloatGauge
+	aggRunning      *obs.Gauge
+	aggDone         *obs.Gauge
+	aggFailed       *obs.Gauge
+	aggMaxLag       *obs.Gauge
+
 	mu     sync.Mutex
 	shards []*shard
 	byName map[string]*shard
@@ -144,7 +163,44 @@ func New(cfg Config, store *collect.Store) *Engine {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	return &Engine{cfg: cfg, store: store, byName: map[string]*shard{}}
+	e := &Engine{cfg: cfg, store: store, byName: map[string]*shard{}}
+	if r := cfg.Obs; r != nil {
+		e.aggEventsPerSec = r.FloatGauge("fleet_events_per_sec",
+			"aggregate scheduler events per wall second")
+		e.aggSimRatio = r.FloatGauge("fleet_sim_ratio",
+			"virtual seconds advanced per wall second, aggregated")
+		e.aggRunning = r.Gauge("fleet_shards_running", "shards currently executing")
+		e.aggDone = r.Gauge("fleet_shards_done", "shards completed or restored")
+		e.aggFailed = r.Gauge("fleet_shards_failed", "shards that failed")
+		e.aggMaxLag = r.Gauge("fleet_max_lag_ticks",
+			"largest remaining virtual time over unfinished shards, ticks")
+		// Exports always see fresh aggregates: sampling the shard gauges
+		// is what recomputes them.
+		r.OnGather(func() { e.Status() })
+	}
+	return e
+}
+
+// newShardGauges wires a shard's progress gauges: registered series when
+// the engine has a registry, bare gauges otherwise. started/ended stay
+// bare either way — wall-clock unix nanos are bookkeeping, not telemetry.
+func (e *Engine) newShardGauges(sh *shard) {
+	sh.started = obs.NewGauge()
+	sh.ended = obs.NewGauge()
+	r := e.cfg.Obs
+	if r == nil {
+		sh.simNow = obs.NewGauge()
+		sh.events = obs.NewGauge()
+		sh.records = obs.NewGauge()
+		return
+	}
+	lb := obs.Label{Key: "shard", Value: sh.spec.Name}
+	sh.simNow = r.Gauge("fleet_shard_sim_now_ticks",
+		"shard virtual clock position, 100ns ticks", lb)
+	sh.events = r.Gauge("fleet_shard_events",
+		"scheduler events run by the shard", lb)
+	sh.records = r.Gauge("fleet_shard_records",
+		"trace records collected from the shard", lb)
 }
 
 // Store returns the engine's collection store.
@@ -155,6 +211,7 @@ func (e *Engine) Store() *collect.Store { return e.store }
 // regardless of registration order.
 func (e *Engine) Add(spec Spec, sched *sim.Scheduler, hooks Hooks) error {
 	sh := &shard{spec: spec, sched: sched, hooks: hooks}
+	e.newShardGauges(sh)
 	return e.register(sh)
 }
 
@@ -188,9 +245,10 @@ func (e *Engine) Restore(spec Spec) (*Restored, bool) {
 		return nil, false
 	}
 	sh := &shard{spec: spec, snaps: ck.Snapshots, procNames: ck.ProcNames}
+	e.newShardGauges(sh)
 	sh.state.Store(stateRestored)
-	sh.records.Store(int64(ck.Records))
-	sh.simNow.Store(int64(e.cfg.Duration))
+	sh.records.Set(int64(ck.Records))
+	sh.simNow.Set(int64(e.cfg.Duration))
 	if err := e.register(sh); err != nil {
 		return nil, false
 	}
@@ -214,6 +272,16 @@ func (e *Engine) TraceBuffer(mch string, recs []tracefmt.Record) {
 		return
 	}
 	sh.records.Add(int64(len(recs)))
+}
+
+// writeObsSnapshot leaves the end-of-run telemetry artifact beside the
+// checkpoints. Nil registry or no checkpoint dir: no-op.
+func (e *Engine) writeObsSnapshot() {
+	if e.cfg.Obs == nil || e.cfg.CheckpointDir == "" {
+		return
+	}
+	// Best effort: a failed telemetry write must not fail the run.
+	_ = e.cfg.Obs.WriteSnapshot(filepath.Join(e.cfg.CheckpointDir, "obs.json"))
 }
 
 // CountRecords credits n shipped records to a shard's progress counters —
@@ -297,6 +365,9 @@ func (e *Engine) Run(ctx context.Context) error {
 		}()
 	}
 	wg.Wait()
+	// Interrupted and failed runs leave telemetry too — that is when it
+	// is most wanted.
+	e.writeObsSnapshot()
 	if runErr != nil {
 		return runErr
 	}
@@ -306,7 +377,7 @@ func (e *Engine) Run(ctx context.Context) error {
 // runShard drives one machine from virtual time zero to the configured
 // duration in slices, then finalizes and checkpoints it.
 func (e *Engine) runShard(ctx context.Context, sh *shard) error {
-	sh.started.Store(time.Now().UnixNano())
+	sh.started.Set(time.Now().UnixNano())
 	sh.state.Store(stateRunning)
 	if sh.hooks.Start != nil {
 		sh.hooks.Start()
@@ -322,15 +393,15 @@ func (e *Engine) runShard(ctx context.Context, sh *shard) error {
 			t = deadline
 		}
 		sh.sched.RunUntil(t)
-		sh.simNow.Store(int64(sh.sched.Now()))
-		sh.events.Store(sh.sched.Ran())
+		sh.simNow.Set(int64(sh.sched.Now()))
+		sh.events.Set(int64(sh.sched.Ran()))
 	}
 	if sh.hooks.Finish != nil {
 		sh.hooks.Finish()
 	}
 	sh.sched.RunUntil(deadline.Add(e.cfg.Drain))
-	sh.simNow.Store(int64(deadline))
-	sh.events.Store(sh.sched.Ran())
+	sh.simNow.Set(int64(deadline))
+	sh.events.Set(int64(sh.sched.Ran()))
 
 	if sh.hooks.Close != nil {
 		if err := sh.hooks.Close(); err != nil {
@@ -360,7 +431,7 @@ func (e *Engine) runShard(ctx context.Context, sh *shard) error {
 			}
 		}
 	}
-	sh.ended.Store(time.Now().UnixNano())
+	sh.ended.Set(time.Now().UnixNano())
 	sh.state.Store(stateDone)
 	return nil
 }

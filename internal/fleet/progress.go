@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"fmt"
+	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -41,8 +43,10 @@ type Status struct {
 	Slowest string
 }
 
-// Status samples every shard's counters. Safe to call concurrently with
-// Run; counters are at most one slice stale.
+// Status samples every shard's progress gauges — the engine's only
+// bookkeeping; Status is a view over them, and the fleet aggregates it
+// derives are published back as obs gauges when the engine is registered.
+// Safe to call concurrently with Run; gauges are at most one slice stale.
 func (e *Engine) Status() Status {
 	now := time.Now().UnixNano()
 	st := Status{Duration: e.cfg.Duration}
@@ -52,12 +56,12 @@ func (e *Engine) Status() Status {
 		s := ShardStatus{
 			Name:    sh.spec.Name,
 			State:   stateNames[sh.state.Load()],
-			SimNow:  sim.Time(sh.simNow.Load()),
-			Events:  sh.events.Load(),
-			Records: sh.records.Load(),
+			SimNow:  sim.Time(sh.simNow.Value()),
+			Events:  uint64(sh.events.Value()),
+			Records: sh.records.Value(),
 		}
-		if start := sh.started.Load(); start != 0 {
-			end := sh.ended.Load()
+		if start := sh.started.Value(); start != 0 {
+			end := sh.ended.Value()
 			if end == 0 {
 				end = now
 			}
@@ -95,6 +99,13 @@ func (e *Engine) Status() Status {
 		st.EventsPerSec = float64(st.Events) / wallSec
 		st.SimRatio = simAdvanced.Seconds() / wallSec
 	}
+	// Publish the aggregates (nil-safe: no-ops without a registry).
+	e.aggEventsPerSec.Set(st.EventsPerSec)
+	e.aggSimRatio.Set(st.SimRatio)
+	e.aggRunning.Set(int64(st.Running))
+	e.aggDone.Set(int64(st.Done + st.Restored))
+	e.aggFailed.Set(int64(st.Failed))
+	e.aggMaxLag.Set(int64(st.MaxLag))
 	return st
 }
 
@@ -120,4 +131,49 @@ func (s Status) String() string {
 		fmt.Fprintf(&b, " | slowest %s lag %s", s.Slowest, s.MaxLag)
 	}
 	return b.String()
+}
+
+// RenderTop writes a top(1)-style multi-line fleet view: the aggregate
+// summary line followed by one row per shard, active shards first (by
+// lag, largest first), then pending, then finished. Intended for the
+// fsfleet -top refresh loop, which repaints it in place.
+func (s Status) RenderTop(w io.Writer) {
+	fmt.Fprintf(w, "fleet: %s\n", s.String())
+	fmt.Fprintf(w, "%-14s %-8s %12s %14s %12s %10s %8s\n",
+		"SHARD", "STATE", "RECORDS", "EVENTS", "SIM-TIME", "WALL", "PROG")
+	rows := append([]ShardStatus(nil), s.Shards...)
+	rank := func(st string) int {
+		switch st {
+		case "running":
+			return 0
+		case "failed":
+			return 1
+		case "pending":
+			return 2
+		case "done":
+			return 3
+		default: // restored
+			return 4
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ri, rj := rank(rows[i].State), rank(rows[j].State)
+		if ri != rj {
+			return ri < rj
+		}
+		return rows[i].Lag > rows[j].Lag
+	})
+	for _, sh := range rows {
+		prog := "-"
+		if s.Duration > 0 {
+			prog = fmt.Sprintf("%.0f%%", 100*float64(sh.SimNow)/float64(s.Duration))
+		}
+		wall := "-"
+		if sh.Wall > 0 {
+			wall = sh.Wall.Truncate(time.Millisecond * 10).String()
+		}
+		fmt.Fprintf(w, "%-14s %-8s %12d %14d %12s %10s %8s\n",
+			sh.Name, sh.State, sh.Records, sh.Events,
+			sim.Duration(sh.SimNow).String(), wall, prog)
+	}
 }

@@ -87,6 +87,9 @@ type Manager struct {
 	lazyRunning bool
 
 	Stats Stats
+
+	// Metrics is the optional obs instrumentation (nil when disabled).
+	Metrics *Metrics
 }
 
 // SharedCacheMap is the per-file cache state shared by all FileObjects
@@ -129,7 +132,12 @@ type page struct {
 	cm    *SharedCacheMap
 	idx   int64 // page index within the file
 	dirty bool
-	elem  *list.Element
+	// ra marks a page brought in by read-ahead and not yet touched by a
+	// foreground read; the first touch clears it (and counts as
+	// "read-ahead used"). Maintained whether or not obs is enabled so
+	// instrumentation can never change behaviour.
+	ra   bool
+	elem *list.Element
 }
 
 // Config parameterises a Manager.
@@ -280,6 +288,10 @@ func (m *Manager) CopyRead(fo *types.FileObject, cm *SharedCacheMap, offset int6
 	for i := first; i <= last; i++ {
 		if p := cm.pages[i]; p != nil {
 			m.touch(p)
+			if p.ra {
+				p.ra = false
+				m.Metrics.readAheadUsed()
+			}
 			if missStart >= 0 {
 				m.pageIn(cm, missStart, i-1, procID, false)
 				missStart = -1
@@ -298,6 +310,7 @@ func (m *Manager) CopyRead(fo *types.FileObject, cm *SharedCacheMap, offset int6
 		m.Stats.ReadsFromCache++
 		m.Stats.BytesFromCache += uint64(length)
 	}
+	m.Metrics.read(hit, length)
 
 	m.noteSequential(fo, cm, offset, length, procID)
 	return hit
@@ -393,9 +406,13 @@ func (m *Manager) pageIn(cm *SharedCacheMap, first, last int64, procID uint32, r
 	if readAhead {
 		m.Stats.ReadAheadOps++
 		m.Stats.ReadAheadBytes += uint64(length)
+		m.Metrics.readAhead(length)
 	}
 	for i := first; i <= last; i++ {
-		m.addPage(cm, i)
+		p := m.addPage(cm, i)
+		if readAhead {
+			p.ra = true
+		}
 	}
 }
 
@@ -534,7 +551,7 @@ func (m *Manager) lazyWriteScan() {
 				target = burstCap
 			}
 			m.Stats.LazyWriteBursts++
-			m.writeDirty(cm, target, 0, true)
+			m.Metrics.lazyBurst(m.writeDirty(cm, target, 0, true))
 		}
 		if cm.dirty == 0 && len(cm.pendingClose) > 0 {
 			pend := cm.pendingClose
@@ -577,11 +594,13 @@ func (m *Manager) Cleanup(fo *types.FileObject, node *fsys.Node) {
 	// for read caching specifically).
 	if cm.dirty > 0 && !cm.Temporary && fo.Flags.Has(types.FODirtied) {
 		m.Stats.CleanupDeferred++
+		m.Metrics.cleanup(true)
 		cm.pendingClose = append(cm.pendingClose, fo)
 		m.queueDirty(cm)
 		return
 	}
 	m.Stats.CleanupImmediate++
+	m.Metrics.cleanup(false)
 	// "we see the close request within 4-80 µs after the cleanup
 	// request". The release runs synchronously (the caller invokes
 	// Cleanup after the CLEANUP IRP completed): NT does this on a worker

@@ -1,0 +1,99 @@
+package cachemgr
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics is the cache manager's obs instrumentation: hit/miss and byte
+// counters, read-ahead issued vs later-used pages, lazy-writer burst
+// sizes, and the immediate/deferred cleanup split of §8.1. Nil-safe.
+type Metrics struct {
+	readRequests *obs.Counter
+	readHits     *obs.Counter
+	bytesRead    *obs.Counter
+	bytesCached  *obs.Counter
+	raOps        *obs.Counter
+	raBytes      *obs.Counter
+	raUsedPages  *obs.Counter
+	lazyBursts   *obs.Counter
+	burstPages   *obs.Histogram
+	cleanupNow   *obs.Counter
+	cleanupDefer *obs.Counter
+}
+
+// NewMetrics registers the cachemgr families on r; nil r yields nil.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		readRequests: r.Counter("cachemgr_read_requests_total",
+			"cached read requests presented to the cache manager"),
+		readHits: r.Counter("cachemgr_read_hits_total",
+			"read requests satisfied entirely from resident pages"),
+		bytesRead: r.Counter("cachemgr_read_bytes_total",
+			"bytes requested through cached reads"),
+		bytesCached: r.Counter("cachemgr_read_bytes_cached_total",
+			"bytes served without any paging read"),
+		raOps: r.Counter("cachemgr_readahead_ops_total",
+			"asynchronous read-ahead paging reads issued"),
+		raBytes: r.Counter("cachemgr_readahead_bytes_total",
+			"bytes prefetched by read-ahead"),
+		raUsedPages: r.Counter("cachemgr_readahead_used_pages_total",
+			"read-ahead pages later touched by a foreground read"),
+		lazyBursts: r.Counter("cachemgr_lazy_write_bursts_total",
+			"lazy-writer per-file write bursts"),
+		burstPages: r.Histogram("cachemgr_lazy_write_burst_pages",
+			"pages written per lazy-writer burst (2-8 requests, <=64KB each)"),
+		cleanupNow: r.Counter("cachemgr_cleanup_immediate_total",
+			"cleanups whose cache reference released immediately"),
+		cleanupDefer: r.Counter("cachemgr_cleanup_deferred_total",
+			"cleanups deferred to the lazy writer behind dirty pages"),
+	}
+}
+
+func (mm *Metrics) read(hit bool, length int) {
+	if mm == nil {
+		return
+	}
+	mm.readRequests.Inc()
+	mm.bytesRead.Add(uint64(length))
+	if hit {
+		mm.readHits.Inc()
+		mm.bytesCached.Add(uint64(length))
+	}
+}
+
+func (mm *Metrics) readAhead(bytes int) {
+	if mm == nil {
+		return
+	}
+	mm.raOps.Inc()
+	mm.raBytes.Add(uint64(bytes))
+}
+
+func (mm *Metrics) readAheadUsed() {
+	if mm == nil {
+		return
+	}
+	mm.raUsedPages.Inc()
+}
+
+func (mm *Metrics) lazyBurst(pages int) {
+	if mm == nil {
+		return
+	}
+	mm.lazyBursts.Inc()
+	mm.burstPages.Observe(int64(pages))
+}
+
+func (mm *Metrics) cleanup(deferred bool) {
+	if mm == nil {
+		return
+	}
+	if deferred {
+		mm.cleanupDefer.Inc()
+	} else {
+		mm.cleanupNow.Inc()
+	}
+}

@@ -64,6 +64,10 @@ type IOManager struct {
 
 	Stats Stats
 
+	// Metrics is the optional obs instrumentation (nil when disabled —
+	// every record call is nil-safe).
+	Metrics *Metrics
+
 	// IRPOverhead is the packet path's setup/completion cost; FastOverhead
 	// the direct call's. The gap is what "fast" buys (§10 clarifies the
 	// name really refers to the direct cache path, but the procedural
@@ -114,9 +118,7 @@ func (m *IOManager) TargetFor(fs *fsys.FS) irp.Target {
 		if mt.FS == fs {
 			top := mt.Top
 			return irp.TargetFunc(func(rq *irp.Request) {
-				m.Stats.IrpDispatches++
-				m.sched.Advance(m.IRPOverhead)
-				top.Dispatch(rq)
+				m.dispatchTop(top, rq)
 			})
 		}
 	}
@@ -156,9 +158,7 @@ func (m *IOManager) ResolveCacheTarget(cm *cachemgr.Manager) {
 				if fo := rq.FileObject; fo != nil && !strings.HasPrefix(fo.Path, mt.Prefix) {
 					fo.Path = mt.Prefix + fo.Path
 				}
-				m.Stats.IrpDispatches++
-				m.sched.Advance(m.IRPOverhead)
-				mt.Top.Dispatch(rq)
+				m.dispatchTop(mt.Top, rq)
 				return
 			}
 		}
@@ -219,9 +219,20 @@ func (m *IOManager) CreateFile(procID uint32, path string, access types.AccessMa
 
 // dispatchIRP charges the packet overhead and sends rq down mt's stack.
 func (m *IOManager) dispatchIRP(mt *Mount, rq *irp.Request) {
+	m.dispatchTop(mt.Top, rq)
+}
+
+// dispatchTop is the single IRP egress point: every packet-path request —
+// application, paging, cache-originated — goes through here, so the
+// counter and latency histogram see them all. The latency capture only
+// reads the virtual clock (Now before/after); the clock advance is the
+// same IRPOverhead charge as before instrumentation.
+func (m *IOManager) dispatchTop(top irp.Driver, rq *irp.Request) {
 	m.Stats.IrpDispatches++
+	start := m.sched.Now()
 	m.sched.Advance(m.IRPOverhead)
-	mt.Top.Dispatch(rq)
+	top.Dispatch(rq)
+	m.Metrics.irp(m.sched.Now().Sub(start))
 }
 
 // dataRequest runs a read or write: FastIO first when eligible, IRP
@@ -240,9 +251,12 @@ func (m *IOManager) dataRequest(h Handle, major types.MajorFunction,
 
 	if fo.Flags.Has(types.FOCacheInitialized) {
 		m.Stats.FastIoAttempts++
+		m.Metrics.fastAttempt()
+		start := m.sched.Now()
 		m.sched.Advance(m.FastOverhead)
 		if mt.Top.FastIo(fast, rq) {
 			m.Stats.FastIoSucceeded++
+			m.Metrics.fastHit(m.sched.Now().Sub(start))
 			if major == types.IrpMjRead {
 				m.Stats.ReadsFast++
 			} else {
@@ -298,9 +312,12 @@ func (m *IOManager) QueryInformation(procID uint32, h Handle) (int64, types.Stat
 	}
 	mt := m.mountOf(fo)
 	m.Stats.FastIoAttempts++
+	m.Metrics.fastAttempt()
+	start := m.sched.Now()
 	m.sched.Advance(m.FastOverhead)
 	if mt.Top.FastIo(types.FastIoQueryBasicInfo, rq) {
 		m.Stats.FastIoSucceeded++
+		m.Metrics.fastHit(m.sched.Now().Sub(start))
 		return rq.Information, rq.Status
 	}
 	m.dispatchIRP(mt, rq)
@@ -363,9 +380,12 @@ func (m *IOManager) FsControl(procID uint32, h Handle, code types.FsControlCode)
 		FileObject: fo, ProcessID: procID, FsControl: code}
 	// The I/O manager tries FastIoDeviceControl for IOCTLs first.
 	m.Stats.FastIoAttempts++
+	m.Metrics.fastAttempt()
+	start := m.sched.Now()
 	m.sched.Advance(m.FastOverhead)
 	if mt.Top.FastIo(types.FastIoDeviceControl, rq) {
 		m.Stats.FastIoSucceeded++
+		m.Metrics.fastHit(m.sched.Now().Sub(start))
 		return rq.Status
 	}
 	m.dispatchIRP(mt, rq)

@@ -1,0 +1,60 @@
+package iomgr
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Metrics is the I/O manager's obs instrumentation: packet vs direct-path
+// dispatch counts and per-request service latencies (virtual-time ticks,
+// measured from overhead charge to stack completion). All methods are
+// nil-safe so an uninstrumented manager pays one branch per request.
+type Metrics struct {
+	irpDispatches *obs.Counter
+	fastAttempts  *obs.Counter
+	fastHits      *obs.Counter
+	irpTicks      *obs.Histogram
+	fastTicks     *obs.Histogram
+}
+
+// NewMetrics registers the iomgr families on r; nil r yields nil Metrics.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		irpDispatches: r.Counter("iomgr_irp_dispatches_total",
+			"requests sent down a driver stack as IRPs (packet path)"),
+		fastAttempts: r.Counter("iomgr_fastio_attempts_total",
+			"requests first tried over the FastIO direct path"),
+		fastHits: r.Counter("iomgr_fastio_hits_total",
+			"FastIO attempts satisfied without falling back to an IRP"),
+		irpTicks: r.Histogram("iomgr_irp_service_ticks",
+			"IRP service latency in 100ns virtual-time ticks"),
+		fastTicks: r.Histogram("iomgr_fastio_service_ticks",
+			"successful FastIO service latency in 100ns virtual-time ticks"),
+	}
+}
+
+func (mm *Metrics) irp(d sim.Duration) {
+	if mm == nil {
+		return
+	}
+	mm.irpDispatches.Inc()
+	mm.irpTicks.ObserveDuration(d)
+}
+
+func (mm *Metrics) fastAttempt() {
+	if mm == nil {
+		return
+	}
+	mm.fastAttempts.Inc()
+}
+
+func (mm *Metrics) fastHit(d sim.Duration) {
+	if mm == nil {
+		return
+	}
+	mm.fastHits.Inc()
+	mm.fastTicks.ObserveDuration(d)
+}

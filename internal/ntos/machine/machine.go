@@ -15,6 +15,7 @@ import (
 	"repro/internal/ntos/irp"
 	"repro/internal/ntos/vmmgr"
 	"repro/internal/ntos/volume"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tracedrv"
 	"repro/internal/tracefmt"
@@ -39,6 +40,28 @@ func (c Category) String() string {
 		return categoryNames[c]
 	}
 	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// Obs bundles the per-layer instrumentation shared by all machines of a
+// study: counters are fleet-wide aggregates (per-machine series would
+// multiply cardinality by 45 for no analytical gain — the paper reports
+// aggregate distributions too). A nil *Obs disables instrumentation.
+type Obs struct {
+	IO    *iomgr.Metrics
+	Cache *cachemgr.Metrics
+	Trace *tracedrv.Metrics
+}
+
+// NewObs builds the shared instrumentation bundle on r; nil r yields nil.
+func NewObs(r *obs.Registry) *Obs {
+	if r == nil {
+		return nil
+	}
+	return &Obs{
+		IO:    iomgr.NewMetrics(r),
+		Cache: cachemgr.NewMetrics(r),
+		Trace: tracedrv.NewMetrics(r),
+	}
 }
 
 // Vol is one mounted volume and its driver stack.
@@ -70,6 +93,7 @@ type Machine struct {
 	ProcNames map[uint32]string
 
 	traceFlush tracedrv.FlushFunc
+	obs        *Obs
 }
 
 // Config parameterises a machine.
@@ -83,6 +107,8 @@ type Config struct {
 	// TraceFlush receives full trace buffers from every volume's trace
 	// driver (nil runs untraced).
 	TraceFlush tracedrv.FlushFunc
+	// Obs is the shared instrumentation bundle (nil when disabled).
+	Obs *Obs
 }
 
 // New builds a machine with no volumes; add them with AddVolume, then
@@ -100,6 +126,11 @@ func New(sched *sim.Scheduler, rng *sim.RNG, cfg Config) *Machine {
 	m.Cache = cachemgr.New(sched, cachemgr.Config{CapacityBytes: cfg.CacheBytes})
 	m.VM = vmmgr.New(sched, m.IO, cfg.VMBudgetBytes)
 	m.traceFlush = cfg.TraceFlush
+	m.obs = cfg.Obs
+	if m.obs != nil {
+		m.IO.Metrics = m.obs.IO
+		m.Cache.Metrics = m.obs.Cache
+	}
 	return m
 }
 
@@ -116,6 +147,9 @@ func (m *Machine) AddVolume(prefix string, geo volume.Geometry, flavor volume.Fl
 	if m.traceFlush != nil {
 		td = tracedrv.New("FsTrace("+prefix+")", fsd, m.Sched, m.traceFlush)
 		td.Remote = remote
+		if m.obs != nil {
+			td.Metrics = m.obs.Trace
+		}
 		top = td
 	}
 	mt := &iomgr.Mount{Prefix: prefix, Top: top, FS: fs, Remote: remote}

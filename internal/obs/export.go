@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Render writes the registry in Prometheus text exposition format:
+// families sorted by name, series sorted by label values, histograms as
+// cumulative le-buckets (only non-empty buckets plus +Inf) with _sum and
+// _count. Gather hooks run first so derived gauges are fresh.
+func (r *Registry) Render(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.gather()
+	for _, f := range r.families() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.orderedSeries() {
+			if err := renderSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func renderSeries(w io.Writer, f *family, s *series) error {
+	lb := labelString(f.labelKeys, s.labelVals, "")
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, lb, s.counter.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, lb, s.gauge.Value())
+		return err
+	case KindFloatGauge:
+		_, err := fmt.Fprintf(w, "%s%s %g\n", f.name, lb, s.fgauge.Value())
+		return err
+	case KindHistogram:
+		snap := s.hist.SnapshotH()
+		cum := uint64(0)
+		for i, c := range snap.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			le := labelString(f.labelKeys, s.labelVals, fmt.Sprintf("%d", BucketUpper(i)))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, le, cum); err != nil {
+				return err
+			}
+		}
+		inf := labelString(f.labelKeys, s.labelVals, "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, inf, snap.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, lb, snap.Sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, lb, snap.Count)
+		return err
+	}
+	return nil
+}
+
+// labelString formats {k1="v1",...}; le, when non-empty, is appended as
+// the histogram bucket bound label. Returns "" for no labels.
+func labelString(keys, vals []string, le string) string {
+	if len(keys) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(vals[i]))
+	}
+	if le != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\n\"") {
+		return v
+	}
+	v = strings.ReplaceAll(v, "\\", "\\\\")
+	v = strings.ReplaceAll(v, "\n", "\\n")
+	return v
+}
+
+// Handler returns an http.Handler serving the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Render(w)
+	})
+}
+
+// MetricsServer is a live telemetry endpoint: /metrics plus the standard
+// net/http/pprof handlers, mounted on a private mux so enabling telemetry
+// never touches http.DefaultServeMux.
+type MetricsServer struct {
+	Addr string // actual listen address (port resolved)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve starts a metrics+pprof server on addr (host:port; port 0 picks a
+// free one). The server runs until Close.
+func Serve(addr string, r *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ms := &MetricsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+	}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close shuts the server down.
+func (ms *MetricsServer) Close() error {
+	if ms == nil {
+		return nil
+	}
+	return ms.srv.Close()
+}

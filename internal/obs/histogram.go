@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// The bucket layout: values 0..15 get exact buckets; every value above
+// that lands in one of four linear sub-buckets per power-of-two octave
+// (octaves 5..63), giving a fixed 252-bucket layout that spans the full
+// int64 range with relative bucket width ≤ 25%. Log-spacing is the right
+// shape for the paper's quantities — request latencies, burst sizes and
+// fill times all range over many decades with heavy tails, so uniform
+// buckets would waste all their resolution on the body.
+const (
+	exactBuckets = 16
+	subBuckets   = 4
+	firstOctave  = 5 // bits.Len64 of the first non-exact value (16..31)
+	lastOctave   = 63
+	NumBuckets   = exactBuckets + (lastOctave-firstOctave+1)*subBuckets // 252
+)
+
+// bucketFor maps a sample to its bucket index. Negative samples clamp to
+// bucket 0 (virtual-time spans are never negative; wall-clock ones can
+// only go negative on clock steps, which we fold into the floor).
+func bucketFor(v int64) int {
+	if v < exactBuckets {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	o := bits.Len64(uint64(v)) // ≥ firstOctave
+	sub := int((uint64(v) >> uint(o-3)) & (subBuckets - 1))
+	i := exactBuckets + (o-firstOctave)*subBuckets + sub
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketLower returns the inclusive lower bound of bucket i.
+func BucketLower(i int) int64 {
+	if i < exactBuckets {
+		return int64(i)
+	}
+	o := firstOctave + (i-exactBuckets)/subBuckets
+	sub := (i - exactBuckets) % subBuckets
+	return int64(1)<<(o-1) + int64(sub)<<(o-3)
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i. The top
+// bucket's bound would be 1<<63, past int64, so it clamps to MaxInt64.
+func BucketUpper(i int) int64 {
+	if i < exactBuckets {
+		return int64(i) + 1
+	}
+	if i >= NumBuckets-1 {
+		return math.MaxInt64
+	}
+	o := firstOctave + (i-exactBuckets)/subBuckets
+	return BucketLower(i) + int64(1)<<(o-3)
+}
+
+// Histogram is a fixed-layout log-bucketed histogram. Observe is
+// lock-free: one bucket-index computation and three atomic adds,
+// allocation-free on the hot path. A nil histogram ignores updates.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// NewHistogram returns a standalone histogram not attached to a registry.
+func NewHistogram() *Histogram { return newHistogram() }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of samples observed (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistSnapshot is a consistent-enough point-in-time copy of a histogram:
+// buckets are loaded one atomic at a time, so a snapshot taken during
+// concurrent observation may be off by in-flight samples but is always
+// internally usable.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets [NumBuckets]uint64
+}
+
+// SnapshotH copies out the current state.
+func (h *Histogram) SnapshotH() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	var n uint64
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		n += s.Buckets[i]
+	}
+	// Trust the buckets over the racing count so quantile walks always
+	// terminate inside the table.
+	s.Count = n
+	return s
+}
+
+// Mean returns the sample mean.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-th quantile (0..1) by rank walk with linear
+// interpolation inside the landing bucket — the histogram analogue of
+// stats.Summary.Percentile. Exact buckets (values 0..15) return the value
+// itself.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := float64(BucketLower(i)), float64(BucketUpper(i))
+			if i < exactBuckets {
+				return lo
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	// All mass walked: return the top of the highest occupied bucket.
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			return float64(BucketUpper(i))
+		}
+	}
+	return 0
+}
+
+// Hill estimates the tail index α from the histogram by reconstructing
+// the top-k order statistics at bucket midpoints and handing them to
+// stats.Hill — the same heavy-tail diagnostic the report applies to raw
+// trace samples (paper footnote 1: α < 2 means infinite variance). k
+// scales with the sample count and is capped so the reconstruction stays
+// cheap. Returns 0 when the sample is too small or degenerate.
+func (s HistSnapshot) Hill() float64 {
+	k := int(s.Count/50) + 2
+	if k > 2048 {
+		k = 2048
+	}
+	if uint64(k+1) > s.Count {
+		return 0
+	}
+	// Collect the k+1 largest samples, walking buckets from the top.
+	xs := make([]float64, 0, k+1)
+	for i := NumBuckets - 1; i >= 0 && len(xs) < k+1; i-- {
+		c := s.Buckets[i]
+		if c == 0 {
+			continue
+		}
+		mid := (float64(BucketLower(i)) + float64(BucketUpper(i))) / 2
+		for j := uint64(0); j < c && len(xs) < k+1; j++ {
+			xs = append(xs, mid)
+		}
+	}
+	return stats.Hill(xs, k)
+}

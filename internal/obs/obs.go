@@ -1,0 +1,344 @@
+// Package obs is the fleet-wide observability subsystem: a lock-cheap
+// registry of labeled counters, gauges and log-bucketed histograms that
+// watches the simulated NT stack, the collection pipeline and the fleet
+// engine simultaneously.
+//
+// The paper's central finding is that every measured quantity in the NT
+// I/O stack is heavy-tailed — averages lie, and only full distributions
+// observed continuously tell the truth. The histogram bucket scheme is
+// sized accordingly: log2 octaves with four linear sub-buckets each, so a
+// single fixed 252-bucket layout covers twelve decades with bounded 25%
+// relative error — wide enough for 100 ns FastIO latencies and multi-hour
+// buffer fill times in the same family.
+//
+// Determinism contract: obs never touches the virtual clock, the event
+// queue or sim.RNG. Every instrument is a pure observer (atomic adds on
+// pre-resolved pointers; reads of sim.Time only), so a corpus produced
+// with obs enabled is byte-identical to one produced with it disabled —
+// test-enforced by core.TestObsStudyByteIdentical.
+//
+// Hot-path cost: instrumented code resolves its metric pointers once at
+// wiring time; a counter increment is a single atomic add and a histogram
+// observe is a bit-trick bucket index plus three atomic adds. Both are
+// allocation-free (BenchmarkObsHotPath). Every metric type is nil-safe:
+// a nil *Counter/*Gauge/*Histogram ignores updates, so obs-off costs one
+// predictable branch.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Kind is a metric family's type.
+type Kind uint8
+
+// The metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindFloatGauge
+	KindHistogram
+)
+
+var kindNames = [...]string{"counter", "gauge", "gauge", "histogram"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; a nil counter ignores updates (obs disabled).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// NewCounter returns a standalone counter not attached to any registry —
+// the always-on accounting case (e.g. agent.NetStats), where the counter
+// is the single source of truth whether or not a registry observes it.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increments by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a standalone gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add increments by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is an instantaneous float64 value (ratios, rates).
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// NewFloatGauge returns a standalone float gauge.
+func NewFloatGauge() *FloatGauge { return &FloatGauge{} }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge (0 for nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is the metric namespace: families keyed by name, series keyed
+// by label values. Get-or-create calls lock; the returned metric pointers
+// are lock-free thereafter — instrumented code resolves them once at
+// wiring time and the hot path never sees the registry again.
+//
+// A nil *Registry is valid everywhere: every getter returns a nil metric,
+// which ignores updates. Wiring code therefore never branches on
+// "obs enabled".
+type Registry struct {
+	mu     sync.Mutex
+	fams   map[string]*family
+	hooks  []func()
+	inHook atomic.Bool
+}
+
+type family struct {
+	name, help string
+	kind       Kind
+	labelKeys  []string
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+type series struct {
+	labelVals []string
+	counter   *Counter
+	gauge     *Gauge
+	fgauge    *FloatGauge
+	hist      *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// OnGather registers a hook run before every Render/Snapshot — the place
+// to refresh derived gauges (e.g. the fleet engine recomputing events/sec
+// from its shard gauges). Hooks must be safe for concurrent use.
+func (r *Registry) OnGather(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+func (r *Registry) gather() {
+	if r == nil {
+		return
+	}
+	// A gather hook calling Render/Snapshot again must not recurse.
+	if !r.inHook.CompareAndSwap(false, true) {
+		return
+	}
+	defer r.inHook.Store(false)
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// seriesFor resolves (creating if absent) the series for name+labels.
+func (r *Registry) seriesFor(name, help string, kind Kind, labels []Label) *series {
+	if r == nil {
+		return nil
+	}
+	keys := make([]string, len(labels))
+	vals := make([]string, len(labels))
+	for i, l := range labels {
+		keys[i] = l.Key
+		vals[i] = l.Value
+	}
+	r.mu.Lock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, labelKeys: keys, series: map[string]*series{}}
+		r.fams[name] = f
+	}
+	r.mu.Unlock()
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if len(f.labelKeys) != len(keys) {
+		panic(fmt.Sprintf("obs: %s registered with labels %v, requested with %v", name, f.labelKeys, keys))
+	}
+	for i := range keys {
+		if f.labelKeys[i] != keys[i] {
+			panic(fmt.Sprintf("obs: %s registered with labels %v, requested with %v", name, f.labelKeys, keys))
+		}
+	}
+	sk := strings.Join(vals, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[sk]
+	if s == nil {
+		s = &series{labelVals: vals}
+		switch kind {
+		case KindCounter:
+			s.counter = NewCounter()
+		case KindGauge:
+			s.gauge = NewGauge()
+		case KindFloatGauge:
+			s.fgauge = NewFloatGauge()
+		case KindHistogram:
+			s.hist = newHistogram()
+		}
+		f.series[sk] = s
+	}
+	return s
+}
+
+// Counter gets or creates a counter series. Nil registry returns nil.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.seriesFor(name, help, KindCounter, labels)
+	if s == nil {
+		return nil
+	}
+	return s.counter
+}
+
+// Gauge gets or creates an int gauge series. Nil registry returns nil.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.seriesFor(name, help, KindGauge, labels)
+	if s == nil {
+		return nil
+	}
+	return s.gauge
+}
+
+// FloatGauge gets or creates a float gauge series. Nil registry returns nil.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	s := r.seriesFor(name, help, KindFloatGauge, labels)
+	if s == nil {
+		return nil
+	}
+	return s.fgauge
+}
+
+// Histogram gets or creates a histogram series. Nil registry returns nil.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	s := r.seriesFor(name, help, KindHistogram, labels)
+	if s == nil {
+		return nil
+	}
+	return s.hist
+}
+
+// families returns a sorted, stable view for rendering.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// orderedSeries returns a family's series sorted by label values.
+func (f *family) orderedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].labelVals, out[j].labelVals
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// ObserveDuration records a span of virtual time in ticks (100 ns units,
+// the trace driver's timestamp granularity). Instrumented code captures
+// sim.Time with Scheduler.Now before and after the measured section —
+// reads only, never advancing the clock — so timers are sim-time-aware
+// without perturbing the simulation.
+func (h *Histogram) ObserveDuration(d sim.Duration) {
+	h.Observe(int64(d))
+}
+
+// ObserveWall records a wall-clock duration in microseconds — the unit
+// for real-time stages (corpus decode, measure computation) that run
+// outside the simulated clock.
+func (h *Histogram) ObserveWall(d time.Duration) {
+	h.Observe(d.Microseconds())
+}

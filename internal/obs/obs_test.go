@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestBucketInvariants(t *testing.T) {
+	// Every sample must land in a bucket whose bounds bracket it, and the
+	// bucket table must be contiguous and monotone.
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketLower(i), BucketUpper(i)
+		if lo >= hi {
+			t.Fatalf("bucket %d: lower %d >= upper %d", i, lo, hi)
+		}
+		if i > 0 && BucketUpper(i-1) != lo {
+			t.Fatalf("bucket %d: gap — upper(%d)=%d, lower=%d", i, i-1, BucketUpper(i-1), lo)
+		}
+	}
+	probe := []int64{0, 1, 15, 16, 17, 19, 20, 31, 32, 33, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100000; i++ {
+		probe = append(probe, rng.Int63())
+	}
+	for _, v := range probe {
+		b := bucketFor(v)
+		lo, hi := BucketLower(b), BucketUpper(b)
+		if b == NumBuckets-1 {
+			// The top bucket absorbs the clamped octave-64 overflow, so
+			// only the lower bound holds there.
+			if v < lo {
+				t.Fatalf("v=%d landed in top bucket %d with lower %d", v, b, lo)
+			}
+			continue
+		}
+		if v < lo || v >= hi {
+			t.Fatalf("v=%d landed in bucket %d [%d,%d)", v, b, lo, hi)
+		}
+		// Relative bucket width ≤ 25% past the exact range.
+		if v >= exactBuckets && float64(hi-lo)/float64(lo) > 0.25+1e-9 {
+			t.Fatalf("bucket %d [%d,%d): relative width %g > 25%%", b, lo, hi, float64(hi-lo)/float64(lo))
+		}
+	}
+	if bucketFor(-5) != 0 {
+		t.Fatalf("negative samples must clamp to bucket 0, got %d", bucketFor(-5))
+	}
+}
+
+// TestQuantilesVsStatsCDF cross-checks histogram quantiles against the
+// exact internal/stats CDF on known distributions: the histogram answer
+// must sit within one bucket width (≤25% relative) of the true quantile.
+func TestQuantilesVsStatsCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() float64{
+		"uniform":     func() float64 { return rng.Float64() * 1e6 },
+		"exponential": func() float64 { return rng.ExpFloat64() * 5e4 },
+		// Pareto alpha=1.3: the paper's heavy-tail regime.
+		"pareto": func() float64 { return 100 * math.Pow(rng.Float64(), -1/1.3) },
+	}
+	for name, draw := range dists {
+		h := NewHistogram()
+		xs := make([]float64, 0, 200000)
+		for i := 0; i < 200000; i++ {
+			v := draw()
+			xs = append(xs, math.Floor(v))
+			h.Observe(int64(v))
+		}
+		cdf := stats.NewCDF(xs)
+		snap := h.SnapshotH()
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			want := cdf.Quantile(q)
+			got := snap.Quantile(q)
+			if want <= 0 {
+				continue
+			}
+			rel := math.Abs(got-want) / want
+			if rel > 0.26 {
+				t.Errorf("%s q=%g: histogram %g vs CDF %g (rel err %g)", name, q, got, want, rel)
+			}
+		}
+		if snap.Count != 200000 {
+			t.Errorf("%s: count %d != 200000", name, snap.Count)
+		}
+	}
+}
+
+func TestHistogramHillOnPareto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const alpha = 1.4
+	h := NewHistogram()
+	for i := 0; i < 300000; i++ {
+		v := 50 * math.Pow(rng.Float64(), -1/alpha)
+		h.Observe(int64(v))
+	}
+	got := h.SnapshotH().Hill()
+	if got < 1.0 || got > 1.9 {
+		t.Fatalf("Hill on Pareto(α=%g) = %g, want ≈ α", alpha, got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	// Writers: get-or-create the same and distinct series while observing.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Counter("shared_total", "shared").Inc()
+				r.Counter("labeled_total", "labeled", Label{"shard", string(rune('a' + g))}).Inc()
+				r.Gauge("g", "gauge").Set(int64(i))
+				r.Histogram("h_ticks", "hist").Observe(int64(i))
+			}
+		}(g)
+	}
+	// Readers: render and snapshot concurrently with mutation.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var sb strings.Builder
+				if err := r.Render(&sb); err != nil {
+					t.Errorf("render: %v", err)
+				}
+				_ = r.TakeSnapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "shared").Value(); got != 16000 {
+		t.Fatalf("shared_total = %d, want 16000", got)
+	}
+	if got := r.Histogram("h_ticks", "hist").Count(); got != 16000 {
+		t.Fatalf("h_ticks count = %d, want 16000", got)
+	}
+	// Same name+labels must resolve to the same series.
+	if r.Counter("shared_total", "shared") != r.Counter("shared_total", "shared") {
+		t.Fatal("get-or-create returned distinct counters for one series")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y", "")
+	fg := r.FloatGauge("z", "")
+	h := r.Histogram("w", "")
+	if c != nil || g != nil || fg != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	// All operations on nil metrics are no-ops, not panics.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	fg.Set(2.5)
+	h.Observe(7)
+	h.ObserveDuration(sim.FromMilliseconds(1))
+	if c.Value() != 0 || g.Value() != 0 || fg.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if err := r.Render(os.NewFile(0, "")); err != nil {
+		t.Fatalf("nil render: %v", err)
+	}
+	if err := r.WriteSnapshot(filepath.Join(t.TempDir(), "nope.json")); err != nil {
+		t.Fatalf("nil snapshot: %v", err)
+	}
+	r.OnGather(func() {})
+}
+
+func TestRenderFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", "frames shipped", Label{"machine", "m-b"}).Add(3)
+	r.Counter("frames_total", "frames shipped", Label{"machine", "m-a"}).Add(7)
+	r.Gauge("ring_occupancy", "spill slots in use").Set(12)
+	r.FloatGauge("sim_ratio", "sim:real").Set(125.5)
+	h := r.Histogram("latency_ticks", "service time")
+	h.Observe(3)
+	h.Observe(100)
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE frames_total counter",
+		`frames_total{machine="m-a"} 7`,
+		`frames_total{machine="m-b"} 3`,
+		"# TYPE ring_occupancy gauge",
+		"ring_occupancy 12",
+		"sim_ratio 125.5",
+		"# TYPE latency_ticks histogram",
+		`latency_ticks_bucket{le="4"} 1`,
+		`latency_ticks_bucket{le="+Inf"} 2`,
+		"latency_ticks_sum 103",
+		"latency_ticks_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Series must be label-sorted within the family.
+	if strings.Index(out, `machine="m-a"`) > strings.Index(out, `machine="m-b"`) {
+		t.Error("series not sorted by label value")
+	}
+}
+
+func TestHandlerAndGatherHook(t *testing.T) {
+	r := NewRegistry()
+	derived := r.FloatGauge("derived_rate", "set by gather hook")
+	r.OnGather(func() { derived.Set(42.5) })
+	r.Counter("hits_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := sb.String()
+	if !strings.Contains(body, "hits_total 1") {
+		t.Errorf("missing counter in /metrics body:\n%s", body)
+	}
+	if !strings.Contains(body, "derived_rate 42.5") {
+		t.Errorf("gather hook did not run before render:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content-type %q", ct)
+	}
+}
+
+func TestSnapshotWriteFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help a").Add(9)
+	h := r.Histogram("d_ticks", "durations", Label{"stage", "decode"})
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	path := filepath.Join(t.TempDir(), "obs.json")
+	if err := r.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	byName := map[string]FamilySnapshot{}
+	for _, f := range snap.Families {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["a_total"]; !ok || f.Series[0].Value == nil || *f.Series[0].Value != 9 {
+		t.Fatalf("a_total missing or wrong: %+v", byName["a_total"])
+	}
+	f, ok := byName["d_ticks"]
+	if !ok || f.Series[0].Hist == nil {
+		t.Fatalf("d_ticks histogram missing: %+v", f)
+	}
+	hs := f.Series[0].Hist
+	if hs.Count != 1000 {
+		t.Errorf("count %d", hs.Count)
+	}
+	// p50 of 1..1000 is ~500; one bucket of slack.
+	if hs.P50 < 350 || hs.P50 > 650 {
+		t.Errorf("p50 %g out of range", hs.P50)
+	}
+	if f.Series[0].Labels["stage"] != "decode" {
+		t.Errorf("labels %+v", f.Series[0].Labels)
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	ms, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	for _, path := range []string{"/metrics", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + ms.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot is the end-of-run JSON telemetry artifact: every series in the
+// registry with histogram distributions summarised the way the paper
+// summarises its heavy-tailed quantities — quartile-free percentile
+// ladder (p50/p90/p99/p999) plus the Hill tail index — alongside the raw
+// non-empty buckets so downstream tooling can re-derive anything.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family in a Snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   string           `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one labeled series.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Counter / gauge value (unset for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Histogram summary (unset for scalars).
+	Hist *HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// HistogramSnapshot summarises one histogram series.
+type HistogramSnapshot struct {
+	Count   uint64           `json:"count"`
+	Sum     int64            `json:"sum"`
+	Mean    float64          `json:"mean"`
+	P50     float64          `json:"p50"`
+	P90     float64          `json:"p90"`
+	P99     float64          `json:"p99"`
+	P999    float64          `json:"p999"`
+	Hill    float64          `json:"hill,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket [Lower, Upper).
+type BucketSnapshot struct {
+	Lower int64  `json:"lo"`
+	Upper int64  `json:"hi"`
+	Count uint64 `json:"n"`
+}
+
+// TakeSnapshot captures the whole registry. Gather hooks run first. A nil
+// registry yields an empty snapshot.
+func (r *Registry) TakeSnapshot() Snapshot {
+	var out Snapshot
+	if r == nil {
+		return out
+	}
+	r.gather()
+	for _, f := range r.families() {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, s := range f.orderedSeries() {
+			ss := SeriesSnapshot{}
+			if len(f.labelKeys) > 0 {
+				ss.Labels = map[string]string{}
+				for i, k := range f.labelKeys {
+					ss.Labels[k] = s.labelVals[i]
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				v := float64(s.counter.Value())
+				ss.Value = &v
+			case KindGauge:
+				v := float64(s.gauge.Value())
+				ss.Value = &v
+			case KindFloatGauge:
+				v := s.fgauge.Value()
+				ss.Value = &v
+			case KindHistogram:
+				snap := s.hist.SnapshotH()
+				hs := &HistogramSnapshot{
+					Count: snap.Count,
+					Sum:   snap.Sum,
+					Mean:  snap.Mean(),
+					P50:   snap.Quantile(0.50),
+					P90:   snap.Quantile(0.90),
+					P99:   snap.Quantile(0.99),
+					P999:  snap.Quantile(0.999),
+					Hill:  snap.Hill(),
+				}
+				for i, c := range snap.Buckets {
+					if c == 0 {
+						continue
+					}
+					hs.Buckets = append(hs.Buckets, BucketSnapshot{
+						Lower: BucketLower(i), Upper: BucketUpper(i), Count: c,
+					})
+				}
+				ss.Hist = hs
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}
+
+// WriteFile writes the snapshot as indented JSON via tmp+rename, matching
+// the fleet checkpoint discipline (a reader never sees a torn file).
+func (s Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteSnapshot is the one-call form: capture and write. Nil registries
+// write nothing and return nil, so callers don't need to branch on
+// obs-enabled.
+func (r *Registry) WriteSnapshot(path string) error {
+	if r == nil {
+		return nil
+	}
+	return r.TakeSnapshot().WriteFile(path)
+}

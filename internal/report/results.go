@@ -12,7 +12,10 @@ import (
 	"strings"
 	"sync"
 
+	"time"
+
 	"repro/internal/analysis"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -58,16 +61,26 @@ func Compute(ds *analysis.DataSet) *Results {
 // ComputeWorkers is Compute with an explicit worker count (0 or 1 =
 // sequential).
 func ComputeWorkers(ds *analysis.DataSet, workers int) *Results {
+	return ComputeWorkersObs(ds, workers, nil)
+}
+
+// ComputeWorkersObs is ComputeWorkers with an optional wall-clock
+// histogram receiving one per-machine measure duration (microseconds)
+// per machine — the analysis-side instrumentation hook. A nil histogram
+// adds no timing calls, and timing never alters the computed results.
+func ComputeWorkersObs(ds *analysis.DataSet, workers int, perMachine *obs.Histogram) *Results {
 	slots := make([]machineMeasures, len(ds.Machines))
 	measure := func(i int) {
 		mt := ds.Machines[i]
 		m := &slots[i]
+		start := time.Now()
 		m.ins = mt.Instances()
 		m.lt = analysis.Lifetimes(mt)
 		m.c = analysis.Controls(mt, m.ins)
 		m.cm = analysis.Cache(mt, m.ins)
 		m.ru = analysis.Reuse(m.ins)
 		m.rs, m.ws = analysis.FastIOShares(mt)
+		perMachine.ObserveWall(time.Since(start))
 	}
 	if workers <= 1 {
 		for i := range ds.Machines {

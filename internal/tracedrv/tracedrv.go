@@ -67,6 +67,9 @@ type Driver struct {
 	Overhead sim.Duration
 
 	Stats Stats
+
+	// Metrics is the optional obs instrumentation (nil when disabled).
+	Metrics *Metrics
 }
 
 // New creates a trace driver over next, delivering buffers via flush.
@@ -240,6 +243,7 @@ func (d *Driver) record(kind tracefmt.EventKind, rq *irp.Request, annot uint8) {
 		if !d.seen[foID] {
 			d.seen[foID] = true
 			d.Stats.NameMaps++
+			d.Metrics.nameMap()
 			nm := tracefmt.Record{
 				Kind:   tracefmt.EvNameMap,
 				FileID: foID,
@@ -298,6 +302,7 @@ func (d *Driver) Mark(kind tracefmt.EventKind) {
 // store appends to the active buffer, rotating on fill.
 func (d *Driver) store(rec tracefmt.Record) {
 	d.Stats.Records++
+	d.Metrics.record()
 	buf := &d.buffers[d.active]
 	*buf = append(*buf, rec)
 	if len(*buf) >= BufferRecords {
@@ -326,12 +331,14 @@ func (d *Driver) rotate(force bool) {
 	if d.inFlight >= NumBuffers-1 {
 		// All other buffers busy: drop.
 		d.Stats.Overflows += uint64(len(buf))
+		d.Metrics.overflow(len(buf))
 		d.buffers[d.active] = buf[:0]
 		d.fillFrom = d.sched.Now()
 		return
 	}
 	d.inFlight++
 	d.Stats.BufferFlushes++
+	d.Metrics.flush(fill, force)
 	shipped := make([]tracefmt.Record, len(buf))
 	copy(shipped, buf)
 	d.buffers[d.active] = buf[:0]

@@ -22,6 +22,12 @@ go test -run NONE \
   -bench 'BenchmarkDataSetDecode|BenchmarkComputeResults' \
   -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TXT"
 
+# The obs hot path is nanosecond-scale: at a small -benchtime the numbers
+# would be harness overhead (and RunParallel's setup shows up as phantom
+# allocations), so it gets a fixed high iteration count.
+go test -run NONE -bench BenchmarkObsHotPath \
+  -benchtime 1000000x -count "$COUNT" . | tee -a "$TXT"
+
 # Benchmark lines look like:
 #   BenchmarkComputeResults/workers=4-8  3  408389528 ns/op  186966 instances
 # Convert each into {"name":..., "iterations":..., "ns_per_op":..., metrics...}.
