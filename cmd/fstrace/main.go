@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/agent"
+	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -36,8 +37,14 @@ func main() {
 		collAddr = flag.String("collect", "", "ship trace streams to a live collection server at this address (corpus lives server-side)")
 		spill    = flag.Int("spill", 0, "per-agent spill-ring capacity in buffers for -collect (0 = default 64)")
 		metrics  = flag.String("metrics-addr", "", "serve live Prometheus-text /metrics and /debug/pprof on this address")
+		format   = flag.String("format", "row", "saved corpus layout: row (*.trz), columnar (*.fsc) or both")
 	)
 	flag.Parse()
+	switch *format {
+	case "row", "columnar", "both":
+	default:
+		log.Fatalf("-format must be row, columnar or both (got %q)", *format)
+	}
 
 	reg := obs.NewRegistry()
 	if *metrics != "" {
@@ -59,6 +66,7 @@ func main() {
 		Workers:         *workers,
 		CollectAddr:     *collAddr,
 		NetSink:         agent.NetSinkConfig{SpillSlots: *spill},
+		Columnar:        *format == "columnar",
 		Obs:             reg,
 	})
 	fmt.Fprintf(os.Stderr, "running %d machines for %.1f simulated hours (seed %d)...\n",
@@ -82,5 +90,11 @@ func main() {
 	if err := study.Save(*out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "saved corpus to %s\n", *out)
+	if *format == "both" {
+		// Save wrote the row layout; add the columnar segments beside it.
+		if _, err := study.Store.SaveColumnarDir(*out, colstore.Options{}, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "saved %s corpus to %s\n", *format, *out)
 }

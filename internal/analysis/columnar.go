@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/colstore"
+	"repro/internal/ntos/machine"
+	"repro/internal/tracefmt"
+)
+
+// NewMachineTraceColumnar builds a MachineTrace from a columnar segment,
+// pushing the index construction down to the store: the kind and start
+// columns are scanned first (two narrow columns, no names or I/O
+// geometry), the stable by-start permutation is computed from them, and
+// the MachineIndex — the structure every Select-driven figure queries —
+// is seeded from the permuted kind column. The full records are then
+// materialized once and placed directly in sorted position, which is
+// exactly the order NewMachineTraceOwned's sort.SliceStable produces on
+// a row decode, so the two paths yield identical traces.
+func NewMachineTraceColumnar(name string, cat machine.Category, seg *colstore.Segment) (*MachineTrace, error) {
+	batch, err := seg.ScanColumns(colstore.Predicate{}, colstore.ScanKind|colstore.ScanStart)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", name, err)
+	}
+	n := batch.N
+
+	// Stable argsort by start time. Trace buffers from different volumes
+	// interleave at flush granularity, so the stream is near-sorted and
+	// the permutation is near-identity; stability preserves flush order
+	// among equal timestamps, matching the row path's SliceStable.
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return batch.Starts[perm[a]] < batch.Starts[perm[b]] })
+
+	recs, err := seg.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", name, err)
+	}
+	sorted := make([]tracefmt.Record, n)
+	for i, p := range perm {
+		sorted[i] = recs[p]
+	}
+	mt := &MachineTrace{Name: name, Category: cat, Records: sorted}
+
+	// Seed the inverted index from the narrow columns so the usual
+	// full-record indexing pass never runs for columnar corpora.
+	mt.idxOnce.Do(func() {
+		ix := &MachineIndex{mt: mt}
+		var counts [tracefmt.NumEventKinds]int32
+		for _, k := range batch.Kinds {
+			if int(k) < tracefmt.NumEventKinds {
+				counts[k]++
+			}
+		}
+		for k, c := range counts {
+			if c > 0 {
+				ix.kinds[k] = make([]int32, 0, c)
+			}
+		}
+		for i, p := range perm {
+			k := batch.Kinds[p]
+			if int(k) >= tracefmt.NumEventKinds {
+				continue
+			}
+			ix.kinds[k] = append(ix.kinds[k], int32(i))
+			if k == tracefmt.EvCreate || k == tracefmt.EvCreateFailed {
+				ix.openTimes = append(ix.openTimes, batch.Starts[p])
+			}
+		}
+		mt.idx = ix
+	})
+	return mt, nil
+}

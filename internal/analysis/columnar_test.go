@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/ntos/machine"
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+// TestColumnarTraceEquivalence pins that the columnar constructor is
+// indistinguishable from the row one: same sorted records, same
+// per-kind index lists, same open-time series — including the stable
+// tie-break among records sharing a start timestamp.
+func TestColumnarTraceEquivalence(t *testing.T) {
+	rng := sim.NewRNG(77)
+	recs := make([]tracefmt.Record, 15000)
+	for i := range recs {
+		recs[i].Kind = tracefmt.EventKind(rng.Int63n(int64(tracefmt.NumEventKinds)))
+		// Coarse timestamps force ties, exercising sort stability.
+		recs[i].Start = sim.Time(rng.Int63n(500) * 1000)
+		recs[i].End = recs[i].Start + sim.Time(rng.Int63n(100))
+		recs[i].FileID = types.FileObjectID(1 + i%97)
+		recs[i].Length = int32(i)
+	}
+
+	data, _, err := colstore.EncodeSegment(recs, colstore.Options{BlockRecords: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := colstore.OpenSegment(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	row := NewMachineTrace("m", machine.Personal, recs)
+	col, err := NewMachineTraceColumnar("m", machine.Personal, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(col.Records) != len(row.Records) {
+		t.Fatalf("columnar trace has %d records, row %d", len(col.Records), len(row.Records))
+	}
+	for i := range row.Records {
+		if col.Records[i] != row.Records[i] {
+			t.Fatalf("record %d differs after sorting (stability broken?)", i)
+		}
+	}
+
+	rix, cix := row.Index(), col.Index()
+	for k := 0; k < tracefmt.NumEventKinds; k++ {
+		rl, cl := rix.OfKind(tracefmt.EventKind(k)), cix.OfKind(tracefmt.EventKind(k))
+		if len(rl) != len(cl) {
+			t.Fatalf("kind %d: %d positions vs %d", k, len(rl), len(cl))
+		}
+		for i := range rl {
+			if rl[i] != cl[i] {
+				t.Fatalf("kind %d: position %d differs (%d vs %d)", k, i, rl[i], cl[i])
+			}
+		}
+	}
+	ro, co := rix.OpenTimes(), cix.OpenTimes()
+	if len(ro) != len(co) {
+		t.Fatalf("open times: %d vs %d", len(ro), len(co))
+	}
+	for i := range ro {
+		if ro[i] != co[i] {
+			t.Fatalf("open time %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package collect
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/colstore"
+)
+
+// ColumnarExt is the file suffix of a columnar segment on disk. A saved
+// corpus directory may hold <stem>.trz (row), <stem>.fsc (columnar) or
+// both for the same machine; loaders prefer the columnar form.
+const ColumnarExt = ".fsc"
+
+// SaveColumnarDir writes each finalized machine stream as a columnar
+// segment <dir>/<machine>.fsc, using the same stem assignment as
+// SaveDir. prebuilt (may be nil) supplies already-encoded segments keyed
+// by machine name — the fleet engine's checkpointed segments — which are
+// written verbatim instead of re-encoding the row stream. It returns the
+// per-machine summaries; each summary's SHA-256 equals the digest of the
+// machine's logical record stream, so callers can prove row/columnar
+// equivalence without re-reading files.
+func (s *Store) SaveColumnarDir(dir string, opts colstore.Options, prebuilt map[string][]byte) (map[string]colstore.Summary, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sums := make(map[string]colstore.Summary)
+	for _, mf := range s.fileStems() {
+		var data []byte
+		var sum colstore.Summary
+		if pre := prebuilt[mf.machine]; pre != nil {
+			seg, err := colstore.OpenSegment(pre, nil)
+			if err != nil {
+				return nil, fmt.Errorf("collect: prebuilt segment %q: %w", mf.machine, err)
+			}
+			data = pre
+			sum = colstore.Summary{Records: seg.Records(), Blocks: seg.Blocks(), Bytes: seg.Bytes(), SHA: seg.SHA256()}
+		} else {
+			recs, err := s.Records(mf.machine)
+			if err != nil {
+				return nil, err
+			}
+			if data, sum, err = colstore.EncodeSegment(recs, opts); err != nil {
+				return nil, fmt.Errorf("collect: encode %q columnar: %w", mf.machine, err)
+			}
+		}
+		path := filepath.Join(dir, mf.stem+ColumnarExt)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return nil, err
+		}
+		sums[mf.machine] = sum
+	}
+	return sums, nil
+}
+
+// LoadColumnarDir opens every *.fsc segment in dir, keyed by file stem
+// (the machine name under the SaveDir conventions). Metrics m may be
+// nil; when set, every opened segment reports scans against it.
+func LoadColumnarDir(dir string, m *colstore.Metrics) (map[string]*colstore.Segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	segs := make(map[string]*colstore.Segment)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ColumnarExt) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		seg, err := colstore.OpenSegment(data, m)
+		if err != nil {
+			return nil, fmt.Errorf("collect: %s: %w", e.Name(), err)
+		}
+		segs[strings.TrimSuffix(e.Name(), ColumnarExt)] = seg
+	}
+	return segs, nil
+}

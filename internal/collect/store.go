@@ -28,6 +28,13 @@ import (
 // every other error from Records as a real decode/state failure.
 var ErrNoRecords = errors.New("collect: no records")
 
+// ErrCountMismatch reports that a stored stream's decoded record count
+// disagrees with the count recorded when the stream was written — a
+// truncated or padded stream, i.e. corruption, never a benign state.
+// Callers test with errors.Is; the wrapped message says which direction
+// the mismatch ran.
+var ErrCountMismatch = errors.New("collect: record count mismatch")
+
 // Store is a compressed, per-machine trace repository. It is safe for
 // concurrent use: the fleet engine runs machines on parallel shards, so
 // the map is guarded by one mutex and each stream by its own, keeping
@@ -234,7 +241,7 @@ func decodeStream(data []byte, count int) ([]tracefmt.Record, error) {
 	for i := range recs {
 		if err := rd.ReadInto(&recs[i]); err != nil {
 			if err == io.EOF {
-				return nil, fmt.Errorf("collect: stream ended after %d of %d records", i, count)
+				return nil, fmt.Errorf("%w: stream ended after %d of %d records", ErrCountMismatch, i, count)
 			}
 			return nil, err
 		}
@@ -243,7 +250,7 @@ func decodeStream(data []byte, count int) ([]tracefmt.Record, error) {
 	switch err := rd.ReadInto(&extra); err {
 	case io.EOF:
 	case nil:
-		return nil, fmt.Errorf("collect: stream holds more than the recorded %d records", count)
+		return nil, fmt.Errorf("%w: stream holds more than the recorded %d records", ErrCountMismatch, count)
 	default:
 		return nil, err
 	}
@@ -321,28 +328,46 @@ func SafeName(machine string) string {
 	}, machine)
 }
 
-// SaveDir writes each finalized stream as <dir>/<machine>.trz. Machine
-// names that flatten to the same file name are disambiguated with a
+// machineFile pairs a machine name with its on-disk file stem.
+type machineFile struct {
+	machine string
+	stem    string
+}
+
+// fileStems assigns each machine a unique file stem: SafeName-flattened,
+// with machines whose names flatten to the same stem disambiguated by a
 // deterministic numeric suffix (-2, -3, ...) in sorted-name order, so two
-// machines can never silently overwrite each other's stream.
+// machines can never silently overwrite each other's file. Row and
+// columnar layouts share this assignment, keeping <stem>.trz and
+// <stem>.fsc referring to the same machine.
+func (s *Store) fileStems() []machineFile {
+	names := s.Machines()
+	out := make([]machineFile, 0, len(names))
+	used := map[string]bool{}
+	for _, name := range names {
+		base := SafeName(name)
+		stem := base
+		for n := 2; used[stem]; n++ {
+			stem = fmt.Sprintf("%s-%d", base, n)
+		}
+		used[stem] = true
+		out = append(out, machineFile{machine: name, stem: stem})
+	}
+	return out
+}
+
+// SaveDir writes each finalized stream as <dir>/<machine>.trz, with
+// colliding flattened names disambiguated per fileStems.
 func (s *Store) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	names := s.Machines()
-	used := map[string]bool{}
-	for _, name := range names {
-		data, _, err := s.ExportStream(name)
+	for _, mf := range s.fileStems() {
+		data, _, err := s.ExportStream(mf.machine)
 		if err != nil {
 			return err
 		}
-		base := SafeName(name)
-		file := base
-		for n := 2; used[file]; n++ {
-			file = fmt.Sprintf("%s-%d", base, n)
-		}
-		used[file] = true
-		path := filepath.Join(dir, file+".trz")
+		path := filepath.Join(dir, mf.stem+".trz")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return err
 		}

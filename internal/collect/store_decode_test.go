@@ -1,6 +1,7 @@
 package collect
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,10 @@ func TestRecordsCountVerified(t *testing.T) {
 	}
 	if _, err := short.Records("m"); err == nil || !strings.Contains(err.Error(), "ended after") {
 		t.Errorf("over-count decode error = %v, want stream-ended error", err)
+	} else if !errors.Is(err, ErrCountMismatch) {
+		t.Errorf("over-count decode error %v does not wrap ErrCountMismatch", err)
+	} else if errors.Is(err, ErrNoRecords) {
+		t.Errorf("count mismatch %v must not look like the benign ErrNoRecords", err)
 	}
 
 	long := NewStore()
@@ -68,6 +73,8 @@ func TestRecordsCountVerified(t *testing.T) {
 	}
 	if _, err := long.Records("m"); err == nil || !strings.Contains(err.Error(), "more than") {
 		t.Errorf("under-count decode error = %v, want extra-records error", err)
+	} else if !errors.Is(err, ErrCountMismatch) {
+		t.Errorf("under-count decode error %v does not wrap ErrCountMismatch", err)
 	}
 }
 

@@ -1,0 +1,390 @@
+package colstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ntos/types"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+// genRecords builds a deterministic, adversarial record batch: every
+// field exercised, timestamps non-monotone (trace buffers interleave at
+// flush granularity), ids spanning the paging-object range, names of
+// every shape.
+func genRecords(n int, seed uint64) []tracefmt.Record {
+	rng := sim.NewRNG(seed)
+	recs := make([]tracefmt.Record, n)
+	now := int64(0)
+	for i := range recs {
+		r := &recs[i]
+		r.Kind = tracefmt.EventKind(rng.Int63n(int64(tracefmt.NumEventKinds)))
+		r.Major = types.MajorFunction(rng.Int63n(20))
+		r.Minor = types.MinorFunction(rng.Int63n(8))
+		r.Annot = uint8(rng.Int63n(32))
+		r.Flags = types.IrpFlags(rng.Int63n(1 << 20))
+		r.FOFl = types.FileObjectFlags(rng.Int63n(1 << 16))
+		r.FileID = types.FileObjectID(rng.Int63n(4000))
+		if rng.Bool(0.1) {
+			r.FileID += tracefmt.PagingObjectIDBase
+		}
+		r.Proc = uint32(rng.Int63n(40))
+		r.Status = types.Status(int32(rng.Int63n(1<<31) - 1<<30))
+		r.Offset = rng.Int63n(1 << 40)
+		r.Length = int32(rng.Int63n(1 << 20))
+		r.Returned = int32(rng.Int63n(1 << 20))
+		r.FileSize = rng.Int63n(1 << 42)
+		r.BytePos = rng.Int63n(1<<41) - 1<<30
+		r.Disposition = types.CreateDisposition(rng.Int63n(6))
+		r.Options = types.CreateOptions(rng.Int63n(1 << 24))
+		r.Attributes = types.FileAttributes(rng.Int63n(1 << 12))
+		r.InfoClass = types.SetInfoClass(rng.Int63n(5))
+		r.FsControl = types.FsControlCode(rng.Int63n(1 << 16))
+		// Non-monotone: jitter around an advancing clock.
+		now += rng.Int63n(2000) - 200
+		r.Start = sim.Time(now)
+		r.End = r.Start + sim.Time(rng.Int63n(500000))
+		if rng.Bool(0.05) {
+			r.SetName(fmt.Sprintf(`C:\dir%d\file-%d.dat`, rng.Int63n(9), i))
+			r.Kind = tracefmt.EvNameMap
+		}
+		recs[i] = *r
+	}
+	return recs
+}
+
+func rowSHA(recs []tracefmt.Record) [sha256.Size]byte {
+	var buf bytes.Buffer
+	if err := tracefmt.WriteAll(&buf, recs); err != nil {
+		panic(err)
+	}
+	return sha256.Sum256(buf.Bytes())
+}
+
+// TestRoundTrip pins the core equivalence guarantee: encode → decode is
+// the identity on records, and the footer digest equals the row-stream
+// digest, across batch sizes that exercise empty, single, partial and
+// multi-block segments.
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000, 4096, 10000} {
+		recs := genRecords(n, uint64(n)+3)
+		data, sum, err := EncodeSegment(recs, Options{BlockRecords: 4096})
+		if err != nil {
+			t.Fatalf("n=%d: encode: %v", n, err)
+		}
+		if sum.Records != n {
+			t.Fatalf("n=%d: summary records %d", n, sum.Records)
+		}
+		if sum.SHA != rowSHA(recs) {
+			t.Fatalf("n=%d: summary SHA != row-stream SHA", n)
+		}
+		seg, err := OpenSegment(data, nil)
+		if err != nil {
+			t.Fatalf("n=%d: open: %v", n, err)
+		}
+		if seg.Records() != n || seg.SHA256() != sum.SHA {
+			t.Fatalf("n=%d: segment header mismatch", n)
+		}
+		got, err := seg.ReadAll()
+		if err != nil {
+			t.Fatalf("n=%d: read: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d records", n, len(got))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("n=%d: record %d differs:\n got %+v\nwant %+v", n, i, got[i], recs[i])
+			}
+		}
+		if err := seg.VerifySHA(); err != nil {
+			t.Fatalf("n=%d: verify: %v", n, err)
+		}
+	}
+}
+
+// TestWriterIncrementalAppend pins that append chunking never changes
+// the bytes: many small appends and one big append produce identical
+// segments (the fleet engine appends flush-buffer-sized batches).
+func TestWriterIncrementalAppend(t *testing.T) {
+	recs := genRecords(9000, 5)
+	one, _, err := EncodeSegment(recs, Options{BlockRecords: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{BlockRecords: 2048})
+	for i := 0; i < len(recs); i += 313 {
+		end := i + 313
+		if end > len(recs) {
+			end = len(recs)
+		}
+		if err := w.Append(recs[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, buf.Bytes()) {
+		t.Fatal("chunked appends produced different segment bytes")
+	}
+}
+
+// TestDeterministicEncode pins byte-level determinism: the dictionary
+// and candidate selection must not depend on map iteration order.
+func TestDeterministicEncode(t *testing.T) {
+	recs := genRecords(5000, 9)
+	a, _, err := EncodeSegment(recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := EncodeSegment(recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same records encoded to different bytes")
+	}
+}
+
+// TestKindPushdown pins predicate semantics: a kind-set scan returns
+// exactly the records a full-stream filter would, in the same order.
+func TestKindPushdown(t *testing.T) {
+	recs := genRecords(20000, 11)
+	data, _, err := EncodeSegment(recs, Options{BlockRecords: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	seg, err := OpenSegment(data, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tracefmt.EventKind{tracefmt.EvNameMap, tracefmt.EvSetRename}
+	got, err := seg.ScanRecords(Predicate{Kinds: kinds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []tracefmt.Record
+	for _, r := range recs {
+		if r.Kind == tracefmt.EvNameMap || r.Kind == tracefmt.EvSetRename {
+			want = append(want, r)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("kind scan returned %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	if m.BlocksScanned.Value() == 0 {
+		t.Fatal("no blocks scanned")
+	}
+}
+
+// TestTimePushdown pins zone-map skipping: a narrow time window over a
+// many-block segment must skip blocks and still return exactly the
+// full-filter answer.
+func TestTimePushdown(t *testing.T) {
+	recs := genRecords(20000, 13)
+	data, _, err := EncodeSegment(recs, Options{BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(obs.NewRegistry())
+	seg, err := OpenSegment(data, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi sim.Time
+	for _, r := range recs {
+		if r.Start > hi {
+			hi = r.Start
+		}
+	}
+	lo, hi = hi/4, hi/2
+	got, err := seg.ScanRecords(Predicate{MinStart: lo, MaxStart: hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int
+	for _, r := range recs {
+		if r.Start >= lo && r.Start <= hi {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("time scan returned %d records, want %d", len(got), want)
+	}
+	if m.BlocksSkipped.Value() == 0 {
+		t.Fatalf("time window skipped no blocks (%d scanned)", m.BlocksScanned.Value())
+	}
+	if m.TotalBytesDecoded() >= uint64(len(data)) {
+		t.Fatalf("windowed scan decoded %d bytes of a %d-byte segment", m.TotalBytesDecoded(), len(data))
+	}
+}
+
+// TestColumnProjection pins the narrow path: a two-column batch agrees
+// with full records and decodes only the requested column families.
+func TestColumnProjection(t *testing.T) {
+	recs := genRecords(12000, 17)
+	data, _, err := EncodeSegment(recs, Options{BlockRecords: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(obs.NewRegistry())
+	seg, err := OpenSegment(data, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tracefmt.EventKind{tracefmt.EvRead, tracefmt.EvFastRead}
+	batch, err := seg.ScanColumns(Predicate{Kinds: kinds}, ScanStart|ScanLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantN int
+	for _, r := range recs {
+		if r.Kind == tracefmt.EvRead || r.Kind == tracefmt.EvFastRead {
+			if batch.Starts[wantN] != r.Start || batch.Lengths[wantN] != r.Length {
+				t.Fatalf("row %d: got (%d,%d), want (%d,%d)",
+					wantN, batch.Starts[wantN], batch.Lengths[wantN], r.Start, r.Length)
+			}
+			wantN++
+		}
+	}
+	if batch.N != wantN {
+		t.Fatalf("batch has %d rows, want %d", batch.N, wantN)
+	}
+	if batch.Kinds != nil || batch.Ends != nil || batch.FileIDs != nil {
+		t.Fatal("unrequested columns materialized")
+	}
+	if m.BytesDecoded(FamilyName) != 0 || m.BytesDecoded(FamilyIDs) != 0 {
+		t.Fatal("projection decoded unrequested column families")
+	}
+	// The projection must decode meaningfully less than the segment.
+	if dec, tot := m.TotalBytesDecoded(), uint64(len(data)); dec*2 >= tot {
+		t.Errorf("two-column projection decoded %d of %d bytes", dec, tot)
+	}
+}
+
+// TestCorruptionFailsClosed flips bits across the whole segment and
+// requires every scan outcome to be a clean error or a correct result —
+// never a panic, never silently wrong counts against the digest.
+func TestCorruptionFailsClosed(t *testing.T) {
+	recs := genRecords(3000, 19)
+	data, sum, err := EncodeSegment(recs, Options{BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(data); pos += 37 {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		seg, err := OpenSegment(mut, nil)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("pos %d: open error not ErrCorrupt: %v", pos, err)
+			}
+			continue
+		}
+		got, err := seg.ReadAll()
+		if err != nil {
+			continue // fail closed is the requirement
+		}
+		// A successful read through corruption can only be the footer
+		// digest region itself; the records must still round-trip.
+		if len(got) != len(recs) {
+			t.Fatalf("pos %d: silent truncation: %d of %d records", pos, len(got), len(recs))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				if seg.SHA256() != sum.SHA {
+					break // digest was what got corrupted; VerifySHA would catch it
+				}
+				t.Fatalf("pos %d: silent record corruption at %d", pos, i)
+			}
+		}
+	}
+}
+
+// TestTruncationFailsClosed cuts the segment at every length; every
+// prefix must fail to open or fail to read.
+func TestTruncationFailsClosed(t *testing.T) {
+	recs := genRecords(500, 23)
+	data, _, err := EncodeSegment(recs, Options{BlockRecords: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n += 11 {
+		seg, err := OpenSegment(data[:n], nil)
+		if err != nil {
+			continue
+		}
+		if _, err := seg.ReadAll(); err == nil {
+			t.Fatalf("truncation to %d of %d bytes read successfully", n, len(data))
+		}
+	}
+}
+
+// TestStats pins the layout view: per-column bytes sum to the block
+// payload bytes and the name family is a small fraction of raw.
+func TestStats(t *testing.T) {
+	recs := genRecords(8000, 29)
+	data, _, err := EncodeSegment(recs, Options{BlockRecords: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := OpenSegment(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := seg.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 8000 || st.Blocks != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	var colSum int64
+	for c := 0; c < NumColumns; c++ {
+		colSum += st.ColumnBytes[c]
+	}
+	if colSum >= st.Bytes || colSum == 0 {
+		t.Fatalf("column bytes %d vs segment %d", colSum, st.Bytes)
+	}
+	rawName := int64(8000 * tracefmt.NameLen)
+	if st.ColumnBytes[ColName] >= rawName {
+		t.Fatalf("name column did not compress: %d >= %d", st.ColumnBytes[ColName], rawName)
+	}
+}
+
+// TestSegmentSmallerThanRowStream: on realistic (repetitive) trace data
+// the columnar segment must not exceed the DEFLATE row stream.
+func TestSegmentSmallerThanRowStream(t *testing.T) {
+	recs := genRecords(30000, 31)
+	data, _, err := EncodeSegment(recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row bytes.Buffer
+	zw, _ := flate.NewWriter(&row, flate.BestSpeed)
+	if err := tracefmt.WriteAll(zw, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) > int64(row.Len()) {
+		t.Fatalf("columnar %d bytes > row DEFLATE %d bytes", len(data), row.Len())
+	}
+	t.Logf("columnar %d bytes vs row DEFLATE %d bytes (%d records)", len(data), row.Len(), len(recs))
+}

@@ -1,0 +1,319 @@
+package colstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/tracefmt"
+)
+
+// Segment is one machine's columnar trace, opened for scanning. A
+// Segment only parses the footer eagerly; block payloads are validated
+// (CRC, structure) when a scan actually visits them.
+type Segment struct {
+	data  []byte
+	metas []blockMeta
+	count int
+	sha   [sha256.Size]byte
+	m     *Metrics
+}
+
+// OpenSegment validates the segment envelope and footer of data and
+// returns a scannable Segment. Every structural inconsistency is an
+// ErrCorrupt; a valid Segment's footer can still reference blocks that
+// later fail their CRC — scans fail closed on those.
+func OpenSegment(data []byte, m *Metrics) (*Segment, error) {
+	const envelope = len(Magic) + 4 + len(Magic) // header magic + footer length + trailer magic
+	if len(data) < envelope {
+		return nil, corruptf("segment too short: %d bytes", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, corruptf("bad header magic")
+	}
+	if string(data[len(data)-len(Magic):]) != Magic {
+		return nil, corruptf("bad trailer magic")
+	}
+	footLen := int(binary.LittleEndian.Uint32(data[len(data)-len(Magic)-4:]))
+	footStart := len(data) - len(Magic) - 4 - footLen
+	if footLen < 4+8+4+sha256.Size || footStart < len(Magic) {
+		return nil, corruptf("implausible footer length %d", footLen)
+	}
+	foot := data[footStart : footStart+footLen]
+	le := binary.LittleEndian
+	if v := le.Uint32(foot); v != formatVersion {
+		return nil, corruptf("unsupported version %d", v)
+	}
+	records := le.Uint64(foot[4:])
+	blocks := le.Uint32(foot[12:])
+	fixed := 4 + 8 + 4 + sha256.Size
+	if footLen != fixed+int(blocks)*blockMetaSize {
+		return nil, corruptf("footer length %d does not fit %d block entries", footLen, blocks)
+	}
+	s := &Segment{data: data, m: m}
+	copy(s.sha[:], foot[16:16+sha256.Size])
+	var total uint64
+	prevEnd := uint64(len(Magic))
+	for i := 0; i < int(blocks); i++ {
+		meta := readMeta(foot[fixed+i*blockMetaSize:])
+		if meta.count == 0 || meta.count > maxBlockRecords {
+			return nil, corruptf("block %d: implausible record count %d", i, meta.count)
+		}
+		if meta.offset < prevEnd || meta.length == 0 ||
+			meta.offset+uint64(meta.length) > uint64(footStart) {
+			return nil, corruptf("block %d: bad extent [%d,+%d)", i, meta.offset, meta.length)
+		}
+		prevEnd = meta.offset + uint64(meta.length)
+		total += uint64(meta.count)
+		s.metas = append(s.metas, meta)
+	}
+	if total != records {
+		return nil, corruptf("footer record count %d != sum of block counts %d", records, total)
+	}
+	s.count = int(records)
+	m.incSegmentsOpened()
+	return s, nil
+}
+
+// Records reports the segment's logical record count.
+func (s *Segment) Records() int { return s.count }
+
+// Blocks reports the block count.
+func (s *Segment) Blocks() int { return len(s.metas) }
+
+// Bytes reports the encoded segment size.
+func (s *Segment) Bytes() int64 { return int64(len(s.data)) }
+
+// SHA256 returns the footer's digest of the logical record stream — the
+// bytes tracefmt.WriteAll would produce for the same records.
+func (s *Segment) SHA256() [sha256.Size]byte { return s.sha }
+
+// VerifySHA decodes the whole segment, re-encodes every record and
+// checks the digest against the footer — the end-to-end proof that the
+// columnar form and the row stream describe the same corpus.
+func (s *Segment) VerifySHA() error {
+	recs, err := s.ReadAll()
+	if err != nil {
+		return err
+	}
+	h := sha256.New()
+	var buf []byte
+	for i := range recs {
+		buf = recs[i].Encode(buf[:0])
+		h.Write(buf)
+	}
+	var got [sha256.Size]byte
+	h.Sum(got[:0])
+	if got != s.sha {
+		return corruptf("stream digest mismatch: decoded %x, footer %x", got, s.sha)
+	}
+	return nil
+}
+
+// SegmentStats summarises a segment's layout without decoding payloads:
+// per-column encoded bytes and zone-map shape, the fscorpus stats view.
+type SegmentStats struct {
+	Records     int
+	Blocks      int
+	Bytes       int64
+	ColumnBytes [NumColumns]int64
+}
+
+// Stats walks every block header (validating CRCs and column framing)
+// and sums encoded bytes per column.
+func (s *Segment) Stats() (SegmentStats, error) {
+	st := SegmentStats{Records: s.count, Blocks: len(s.metas), Bytes: s.Bytes()}
+	for i := range s.metas {
+		br, err := s.parseBlock(&s.metas[i])
+		if err != nil {
+			return SegmentStats{}, err
+		}
+		for c := 0; c < NumColumns; c++ {
+			st.ColumnBytes[c] += int64(len(br.cols[c].payload))
+		}
+	}
+	return st, nil
+}
+
+// colData is one column's framing within a parsed block.
+type colData struct {
+	tag     byte
+	payload []byte
+}
+
+// blockReader is one block with validated framing, columns undecoded.
+type blockReader struct {
+	seg  *Segment
+	meta *blockMeta
+	n    int
+	cols [numColumns]colData
+}
+
+// parseBlock checks the block's CRC and splits it into column payloads.
+func (s *Segment) parseBlock(meta *blockMeta) (*blockReader, error) {
+	raw := s.data[meta.offset : meta.offset+uint64(meta.length)]
+	if crc32.ChecksumIEEE(raw) != meta.crc {
+		return nil, corruptf("block at %d: CRC mismatch", meta.offset)
+	}
+	if len(raw) < 4 {
+		return nil, corruptf("block at %d: short header", meta.offset)
+	}
+	n := binary.LittleEndian.Uint32(raw)
+	if n != meta.count {
+		return nil, corruptf("block at %d: header count %d != footer count %d", meta.offset, n, meta.count)
+	}
+	br := &blockReader{seg: s, meta: meta, n: int(n)}
+	rest := raw[4:]
+	for c := 0; c < NumColumns; c++ {
+		if len(rest) < 5 {
+			return nil, corruptf("block at %d: truncated column %s", meta.offset, Column(c).Name())
+		}
+		tag := rest[0]
+		plen := int(binary.LittleEndian.Uint32(rest[1:]))
+		rest = rest[5:]
+		if plen > len(rest) {
+			return nil, corruptf("block at %d: column %s overruns block", meta.offset, Column(c).Name())
+		}
+		if base := tag &^ encFlateBit; base > encMax {
+			return nil, corruptf("block at %d: column %s: unknown encoding %d", meta.offset, Column(c).Name(), tag)
+		}
+		br.cols[c] = colData{tag: tag, payload: rest[:plen]}
+		rest = rest[plen:]
+	}
+	if len(rest) != 0 {
+		return nil, corruptf("block at %d: %d stray bytes after columns", meta.offset, len(rest))
+	}
+	return br, nil
+}
+
+// inflate decompresses a flate-wrapped column payload, refusing to
+// expand beyond limit bytes (fail closed on decompression bombs).
+func inflate(p []byte, limit int) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(p))
+	defer zr.Close()
+	out := make([]byte, 0, min(limit, 1<<20))
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := zr.Read(buf)
+		if n > 0 {
+			if len(out)+n > limit {
+				return nil, corruptf("column inflates past its %d-byte bound", limit)
+			}
+			out = append(out, buf[:n]...)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, corruptf("column inflate: %v", err)
+		}
+	}
+}
+
+// payload returns the column's base-encoded bytes, inflating the flate
+// wrapper when present. limit bounds the inflated size.
+func (br *blockReader) payload(c Column, limit int) ([]byte, error) {
+	cd := &br.cols[c]
+	if cd.tag&encFlateBit == 0 {
+		return cd.payload, nil
+	}
+	return inflate(cd.payload, limit)
+}
+
+// decodeInts decodes a value column into its transform-domain values.
+// The destination must be len == block count.
+func (br *blockReader) decodeInts(c Column, dst []uint64) error {
+	// A varint column can legally need up to 10 bytes per value; dicts
+	// add the dictionary itself, bounded by the same per-value cost.
+	limit := br.n*binary.MaxVarintLen64*2 + 16
+	p, err := br.payload(c, limit)
+	if err != nil {
+		return err
+	}
+	name := c.Name()
+	off := int64(br.meta.offset)
+	switch br.cols[c].tag &^ encFlateBit {
+	case encRaw:
+		if len(p) != br.n {
+			return corruptf("block at %d: column %s: raw length %d != %d records", off, name, len(p), br.n)
+		}
+		for i, b := range p {
+			dst[i] = uint64(b)
+		}
+	case encUvarint:
+		for i := range dst {
+			u, n := binary.Uvarint(p)
+			if n <= 0 {
+				return corruptf("block at %d: column %s: bad varint at value %d", off, name, i)
+			}
+			dst[i] = u
+			p = p[n:]
+		}
+		if len(p) != 0 {
+			return corruptf("block at %d: column %s: %d stray bytes", off, name, len(p))
+		}
+	case encDict:
+		dn, n := binary.Uvarint(p)
+		if n <= 0 || dn == 0 || dn > uint64(br.n) {
+			return corruptf("block at %d: column %s: implausible dictionary size %d", off, name, dn)
+		}
+		p = p[n:]
+		dict := make([]uint64, dn)
+		for i := range dict {
+			u, n := binary.Uvarint(p)
+			if n <= 0 {
+				return corruptf("block at %d: column %s: bad dictionary value %d", off, name, i)
+			}
+			dict[i] = u
+			p = p[n:]
+		}
+		if dn <= 256 {
+			if len(p) != br.n {
+				return corruptf("block at %d: column %s: index length %d != %d records", off, name, len(p), br.n)
+			}
+			for i, b := range p {
+				if uint64(b) >= dn {
+					return corruptf("block at %d: column %s: index %d out of dictionary", off, name, b)
+				}
+				dst[i] = dict[b]
+			}
+		} else {
+			for i := range dst {
+				u, n := binary.Uvarint(p)
+				if n <= 0 || u >= dn {
+					return corruptf("block at %d: column %s: bad index at value %d", off, name, i)
+				}
+				dst[i] = dict[u]
+				p = p[n:]
+			}
+			if len(p) != 0 {
+				return corruptf("block at %d: column %s: %d stray bytes", off, name, len(p))
+			}
+		}
+	default:
+		return corruptf("block at %d: column %s: unknown encoding %d", off, name, br.cols[c].tag)
+	}
+	br.seg.m.countDecoded(c, len(br.cols[c].payload))
+	return nil
+}
+
+// decodeName decodes the 64-byte name blobs. dst must be 64*count long.
+func (br *blockReader) decodeName(dst []byte) error {
+	want := br.n * tracefmt.NameLen
+	p, err := br.payload(ColName, want)
+	if err != nil {
+		return err
+	}
+	if br.cols[ColName].tag&^encFlateBit != encRaw {
+		return corruptf("block at %d: name column: unexpected encoding %d", br.meta.offset, br.cols[ColName].tag)
+	}
+	if len(p) != want {
+		return corruptf("block at %d: name column: %d bytes for %d records", br.meta.offset, len(p), br.n)
+	}
+	copy(dst, p)
+	br.seg.m.countDecoded(ColName, len(br.cols[ColName].payload))
+	return nil
+}

@@ -1,0 +1,376 @@
+package colstore
+
+import (
+	"time"
+
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+// Predicate is what a scan pushes down into the segment: a kind set and
+// a start-timestamp window. The zero value selects everything. Blocks
+// whose zone maps cannot match are skipped without touching their bytes.
+type Predicate struct {
+	// Kinds restricts the scan to these event kinds (empty = all).
+	Kinds []tracefmt.EventKind
+	// MinStart/MaxStart bound the record start timestamp, inclusive.
+	// MaxStart == 0 means unbounded above; MinStart == 0 unbounded below.
+	MinStart sim.Time
+	MaxStart sim.Time
+}
+
+// kindMask folds the kind set onto the zone-map bitmap.
+func (p *Predicate) kindMask() uint64 {
+	var m uint64
+	for _, k := range p.Kinds {
+		m |= kindBit(k)
+	}
+	return m
+}
+
+// skip reports whether the block's zone map proves no record matches.
+func (p *Predicate) skip(mask uint64, meta *blockMeta) bool {
+	if mask != 0 && mask&meta.kindBits == 0 {
+		return true
+	}
+	if p.MinStart > 0 && meta.maxStart < int64(p.MinStart) {
+		return true
+	}
+	if p.MaxStart > 0 && meta.minStart > int64(p.MaxStart) {
+		return true
+	}
+	return false
+}
+
+// matchRow applies the predicate exactly to one record's kind and start.
+func (p *Predicate) matchRow(want *[256]bool, kind uint64, start int64) bool {
+	if want != nil && !want[byte(kind)] {
+		return false
+	}
+	if p.MinStart > 0 && start < int64(p.MinStart) {
+		return false
+	}
+	if p.MaxStart > 0 && start > int64(p.MaxStart) {
+		return false
+	}
+	return true
+}
+
+func (p *Predicate) kindSet() *[256]bool {
+	if len(p.Kinds) == 0 {
+		return nil
+	}
+	var want [256]bool
+	for _, k := range p.Kinds {
+		want[byte(k)] = true
+	}
+	return &want
+}
+
+// ColumnSet selects which columns a ScanColumns materializes.
+type ColumnSet uint32
+
+// The projectable columns of the narrow scan path.
+const (
+	ScanKind ColumnSet = 1 << iota
+	ScanStart
+	ScanEnd
+	ScanOffset
+	ScanLength
+	ScanReturned
+	ScanFileSize
+	ScanProc
+	ScanFileID
+	ScanStatus
+	ScanFlags
+	ScanAnnot
+)
+
+// Batch is the result of a column-projected scan: only the requested
+// columns are non-nil, all of equal length N, row i across the slices
+// describing one matching record in stream order.
+type Batch struct {
+	N         int
+	Kinds     []tracefmt.EventKind
+	Starts    []sim.Time
+	Ends      []sim.Time
+	Offsets   []int64
+	Lengths   []int32
+	Returns   []int32
+	FileSizes []int64
+	Procs     []uint32
+	FileIDs   []types.FileObjectID
+	Statuses  []types.Status
+	Flags     []types.IrpFlags
+	Annots    []uint8
+}
+
+// scanCols maps the projection onto the physical columns that must be
+// decoded: the predicate's filter columns ride along, and ScanEnd pulls
+// ScanStart because end timestamps are stored as deltas from start.
+func scanCols(p *Predicate, cols ColumnSet) (need [numColumns]bool) {
+	if cols&ScanKind != 0 || len(p.Kinds) > 0 {
+		need[ColKind] = true
+	}
+	if cols&(ScanStart|ScanEnd) != 0 || p.MinStart > 0 || p.MaxStart > 0 {
+		need[ColStart] = true
+	}
+	if cols&ScanEnd != 0 {
+		need[ColEnd] = true
+	}
+	if cols&ScanOffset != 0 {
+		need[ColOffset] = true
+	}
+	if cols&ScanLength != 0 {
+		need[ColLength] = true
+	}
+	if cols&ScanReturned != 0 {
+		need[ColReturned] = true
+	}
+	if cols&ScanFileSize != 0 {
+		need[ColFileSize] = true
+	}
+	if cols&ScanProc != 0 {
+		need[ColProc] = true
+	}
+	if cols&ScanFileID != 0 {
+		need[ColFileID] = true
+	}
+	if cols&ScanStatus != 0 {
+		need[ColStatus] = true
+	}
+	if cols&ScanFlags != 0 {
+		need[ColFlags] = true
+	}
+	if cols&ScanAnnot != 0 {
+		need[ColAnnot] = true
+	}
+	return need
+}
+
+// blockVals holds one block's decoded columns in semantic domain:
+// unsigned columns verbatim, signed/time columns as uint64(int64).
+type blockVals struct {
+	n    int
+	u    [numColumns][]uint64
+	name []byte
+}
+
+// decodeBlockVals decodes the needed columns of one block, undoing the
+// per-column transforms (zigzag, delta chains).
+func (s *Segment) decodeBlockVals(br *blockReader, need *[numColumns]bool, bv *blockVals) error {
+	bv.n = br.n
+	// ColEnd's delta base is ColStart.
+	if need[ColEnd] {
+		need[ColStart] = true
+	}
+	for c := Column(0); c < numColumns; c++ {
+		if !need[c] {
+			bv.u[c] = nil
+			continue
+		}
+		if c == ColName {
+			if cap(bv.name) < br.n*tracefmt.NameLen {
+				bv.name = make([]byte, br.n*tracefmt.NameLen)
+			}
+			bv.name = bv.name[:br.n*tracefmt.NameLen]
+			if err := br.decodeName(bv.name); err != nil {
+				return err
+			}
+			continue
+		}
+		if cap(bv.u[c]) < br.n {
+			bv.u[c] = make([]uint64, br.n)
+		}
+		bv.u[c] = bv.u[c][:br.n]
+		if err := br.decodeInts(c, bv.u[c]); err != nil {
+			return err
+		}
+		switch colSpecs[c].class {
+		case classSigned:
+			vs := bv.u[c]
+			for i, u := range vs {
+				vs[i] = uint64(unzigzag(u))
+			}
+		case classTime:
+			vs := bv.u[c]
+			prev := int64(0)
+			for i, u := range vs {
+				prev += unzigzag(u)
+				vs[i] = uint64(prev)
+			}
+		}
+	}
+	// classDur second pass: ColEnd needs the reconstructed ColStart.
+	if need[ColEnd] {
+		starts := bv.u[ColStart]
+		ends := bv.u[ColEnd]
+		for i, u := range ends {
+			ends[i] = uint64(int64(starts[i]) + unzigzag(u))
+		}
+	}
+	return nil
+}
+
+// ScanColumns runs a column-projected scan: blocks are skipped via zone
+// maps, only the needed column payloads are decoded, and matching rows
+// are gathered into a Batch in stream order.
+func (s *Segment) ScanColumns(p Predicate, cols ColumnSet) (*Batch, error) {
+	start := time.Now()
+	defer func() { s.m.observeScan(start) }()
+	mask := p.kindMask()
+	want := p.kindSet()
+	need := scanCols(&p, cols)
+	out := &Batch{}
+	var bv blockVals
+	for i := range s.metas {
+		meta := &s.metas[i]
+		if p.skip(mask, meta) {
+			s.m.incSkipped()
+			continue
+		}
+		s.m.incScanned()
+		br, err := s.parseBlock(meta)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.decodeBlockVals(br, &need, &bv); err != nil {
+			return nil, err
+		}
+		for r := 0; r < bv.n; r++ {
+			var kind uint64
+			var st int64
+			if bv.u[ColKind] != nil {
+				kind = bv.u[ColKind][r]
+			}
+			if bv.u[ColStart] != nil {
+				st = int64(bv.u[ColStart][r])
+			}
+			if !p.matchRow(want, kind, st) {
+				continue
+			}
+			out.N++
+			if cols&ScanKind != 0 {
+				out.Kinds = append(out.Kinds, tracefmt.EventKind(kind))
+			}
+			if cols&ScanStart != 0 {
+				out.Starts = append(out.Starts, sim.Time(st))
+			}
+			if cols&ScanEnd != 0 {
+				out.Ends = append(out.Ends, sim.Time(bv.u[ColEnd][r]))
+			}
+			if cols&ScanOffset != 0 {
+				out.Offsets = append(out.Offsets, int64(bv.u[ColOffset][r]))
+			}
+			if cols&ScanLength != 0 {
+				out.Lengths = append(out.Lengths, int32(int64(bv.u[ColLength][r])))
+			}
+			if cols&ScanReturned != 0 {
+				out.Returns = append(out.Returns, int32(int64(bv.u[ColReturned][r])))
+			}
+			if cols&ScanFileSize != 0 {
+				out.FileSizes = append(out.FileSizes, int64(bv.u[ColFileSize][r]))
+			}
+			if cols&ScanProc != 0 {
+				out.Procs = append(out.Procs, uint32(bv.u[ColProc][r]))
+			}
+			if cols&ScanFileID != 0 {
+				out.FileIDs = append(out.FileIDs, types.FileObjectID(bv.u[ColFileID][r]))
+			}
+			if cols&ScanStatus != 0 {
+				out.Statuses = append(out.Statuses, types.Status(int64(bv.u[ColStatus][r])))
+			}
+			if cols&ScanFlags != 0 {
+				out.Flags = append(out.Flags, types.IrpFlags(bv.u[ColFlags][r]))
+			}
+			if cols&ScanAnnot != 0 {
+				out.Annots = append(out.Annots, uint8(bv.u[ColAnnot][r]))
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScanRecords materializes full records matching the predicate, in
+// stream order. Pushdown still applies at block granularity: skipped
+// blocks decode nothing.
+func (s *Segment) ScanRecords(p Predicate) ([]tracefmt.Record, error) {
+	start := time.Now()
+	defer func() { s.m.observeScan(start) }()
+	mask := p.kindMask()
+	want := p.kindSet()
+	var need [numColumns]bool
+	for c := range need {
+		need[c] = true
+	}
+	var out []tracefmt.Record
+	if mask == 0 && p.MinStart == 0 && p.MaxStart == 0 {
+		out = make([]tracefmt.Record, 0, s.count)
+	}
+	var bv blockVals
+	for i := range s.metas {
+		meta := &s.metas[i]
+		if p.skip(mask, meta) {
+			s.m.incSkipped()
+			continue
+		}
+		s.m.incScanned()
+		br, err := s.parseBlock(meta)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.decodeBlockVals(br, &need, &bv); err != nil {
+			return nil, err
+		}
+		for r := 0; r < bv.n; r++ {
+			if !p.matchRow(want, bv.u[ColKind][r], int64(bv.u[ColStart][r])) {
+				continue
+			}
+			out = append(out, bv.record(r))
+		}
+	}
+	return out, nil
+}
+
+// ReadAll materializes the whole segment — the row-equivalence path.
+// The result has exactly Records() entries in original stream order.
+func (s *Segment) ReadAll() ([]tracefmt.Record, error) {
+	recs, err := s.ScanRecords(Predicate{})
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != s.count {
+		return nil, corruptf("decoded %d records, footer says %d", len(recs), s.count)
+	}
+	return recs, nil
+}
+
+// record rebuilds row r of the block from its decoded columns.
+func (bv *blockVals) record(r int) tracefmt.Record {
+	rec := tracefmt.Record{
+		Kind:        tracefmt.EventKind(bv.u[ColKind][r]),
+		Major:       types.MajorFunction(bv.u[ColMajor][r]),
+		Minor:       types.MinorFunction(bv.u[ColMinor][r]),
+		Annot:       uint8(bv.u[ColAnnot][r]),
+		Flags:       types.IrpFlags(bv.u[ColFlags][r]),
+		FOFl:        types.FileObjectFlags(bv.u[ColFOFl][r]),
+		FileID:      types.FileObjectID(bv.u[ColFileID][r]),
+		Proc:        uint32(bv.u[ColProc][r]),
+		Status:      types.Status(int64(bv.u[ColStatus][r])),
+		Offset:      int64(bv.u[ColOffset][r]),
+		Length:      int32(int64(bv.u[ColLength][r])),
+		Returned:    int32(int64(bv.u[ColReturned][r])),
+		FileSize:    int64(bv.u[ColFileSize][r]),
+		BytePos:     int64(bv.u[ColBytePos][r]),
+		Disposition: types.CreateDisposition(bv.u[ColDisposition][r]),
+		Options:     types.CreateOptions(bv.u[ColOptions][r]),
+		Attributes:  types.FileAttributes(bv.u[ColAttributes][r]),
+		InfoClass:   types.SetInfoClass(bv.u[ColInfoClass][r]),
+		FsControl:   types.FsControlCode(bv.u[ColFsControl][r]),
+		Start:       sim.Time(bv.u[ColStart][r]),
+		End:         sim.Time(bv.u[ColEnd][r]),
+	}
+	copy(rec.Name[:], bv.name[r*tracefmt.NameLen:(r+1)*tracefmt.NameLen])
+	return rec
+}

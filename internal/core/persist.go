@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/collect"
+	"repro/internal/colstore"
 	"repro/internal/ntos/machine"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 )
 
@@ -24,8 +27,11 @@ type manifestEntry struct {
 	ProcNames map[uint32]string `json:"proc_names,omitempty"`
 }
 
-// Save writes the collected traces (*.trz), snapshots (*.snap.json) and
-// the machine manifest into dir. The study must have Run.
+// Save writes the collected corpus, snapshots (*.snap.json) and the
+// machine manifest into dir. The corpus layout follows Cfg.Columnar: row
+// streams (*.trz) by default, colstore segments (*.fsc) when set —
+// restored machines reuse the segment carried by their checkpoint
+// instead of re-encoding. The study must have Run.
 func (s *Study) Save(dir string) error {
 	if !s.ran {
 		return fmt.Errorf("core: Save before Run")
@@ -33,7 +39,17 @@ func (s *Study) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := s.Store.SaveDir(dir); err != nil {
+	if s.Cfg.Columnar {
+		prebuilt := map[string][]byte{}
+		for i, r := range s.restored {
+			if r != nil && r.Segment != nil {
+				prebuilt[s.specs[i].name] = r.Segment
+			}
+		}
+		if _, err := s.Store.SaveColumnarDir(dir, colstore.Options{Metrics: s.colMetrics}, prebuilt); err != nil {
+			return err
+		}
+	} else if err := s.Store.SaveDir(dir); err != nil {
 		return err
 	}
 	var man manifest
@@ -70,9 +86,24 @@ func (s *Study) Save(dir string) error {
 
 func safe(s string) string { return collect.SafeName(s) }
 
-// Load reads a saved study directory back into an analysis corpus and its
-// snapshots.
+// Load reads a saved study directory back into an analysis corpus and
+// its snapshots. Machines saved as columnar segments (*.fsc) decode
+// through the colstore scan engine — the index pre-seeded from a narrow
+// column scan — and the rest fall back to row streams (*.trz); a
+// directory may mix both, and a machine with both forms uses the
+// columnar one.
 func Load(dir string) (*analysis.DataSet, []*snapshot.Snapshot, error) {
+	return LoadObs(dir, nil)
+}
+
+// LoadObs is Load with corpus-scan instrumentation: when reg is non-nil
+// every opened segment counts blocks scanned/skipped and bytes decoded
+// per column family on the colstore bundle.
+func LoadObs(dir string, reg *obs.Registry) (*analysis.DataSet, []*snapshot.Snapshot, error) {
+	segs, err := collect.LoadColumnarDir(dir, colstore.NewMetrics(reg))
+	if err != nil {
+		return nil, nil, err
+	}
 	store, err := collect.LoadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -89,13 +120,36 @@ func Load(dir string) (*analysis.DataSet, []*snapshot.Snapshot, error) {
 		cats[safe(e.Name)] = machine.Category(e.Category)
 		procs[safe(e.Name)] = e.ProcNames
 	}
-	ds := &analysis.DataSet{}
-	for _, name := range store.Machines() {
-		recs, err := store.Records(name)
-		if err != nil {
-			return nil, nil, err
+	// Union of both layouts, row names first (sorted), then any
+	// columnar-only machines in sorted order.
+	names := store.Machines()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	var extra []string
+	for n := range segs {
+		if !have[n] {
+			extra = append(extra, n)
 		}
-		mt := analysis.NewMachineTraceOwned(name, cats[name], recs)
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+	ds := &analysis.DataSet{}
+	for _, name := range names {
+		var mt *analysis.MachineTrace
+		if seg := segs[name]; seg != nil {
+			mt, err = analysis.NewMachineTraceColumnar(name, cats[name], seg)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			recs, err := store.Records(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			mt = analysis.NewMachineTraceOwned(name, cats[name], recs)
+		}
 		mt.ProcNames = procs[name]
 		ds.Machines = append(ds.Machines, mt)
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/analysis"
 	"repro/internal/collect"
+	"repro/internal/colstore"
 	"repro/internal/fleet"
 	"repro/internal/fsgen"
 	"repro/internal/ntos/filter"
@@ -77,6 +78,13 @@ type Config struct {
 	// Resume loads matching checkpoints from CheckpointDir instead of
 	// re-running those machines.
 	Resume bool
+	// Columnar switches the saved corpus to the colstore layout: Save
+	// writes per-machine columnar segments (*.fsc) instead of row
+	// streams, and checkpoints carry the segment so a resumed study
+	// saves without re-encoding. Load prefers segments wherever they
+	// exist and falls back to row streams, so either corpus layout
+	// round-trips through the same analysis.
+	Columnar bool
 
 	// Obs, when set, instruments the whole stack — NT layers, trace
 	// drivers, network sinks, fleet shards, analysis workers — on this
@@ -140,10 +148,12 @@ type Study struct {
 	ran      bool
 
 	// mObs is the shared per-layer instrumentation bundle (nil when
-	// Cfg.Obs is nil); decodeHist/computeHist time the analysis workers.
+	// Cfg.Obs is nil); decodeHist/computeHist time the analysis workers;
+	// colMetrics instruments the columnar store.
 	mObs        *machine.Obs
 	decodeHist  *obs.Histogram
 	computeHist *obs.Histogram
+	colMetrics  *colstore.Metrics
 }
 
 // fleetSpecs lays out the machine fleet: the paper's 45-machine category
@@ -227,6 +237,7 @@ func NewStudy(cfg Config) *Study {
 		Store: collect.NewStore(),
 	}
 	s.mObs = machine.NewObs(cfg.Obs)
+	s.colMetrics = colstore.NewMetrics(cfg.Obs)
 	if cfg.Obs != nil {
 		s.decodeHist = cfg.Obs.Histogram("analysis_decode_machine_us",
 			"Wall-clock microseconds to decode one machine's trace stream.")
@@ -240,6 +251,7 @@ func NewStudy(cfg Config) *Study {
 		Workers:       cfg.Workers,
 		CheckpointDir: cfg.CheckpointDir,
 		Remote:        cfg.CollectAddr != "",
+		Columnar:      cfg.Columnar,
 		Obs:           cfg.Obs,
 	}, s.Store)
 

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -11,7 +12,9 @@ import (
 	"path/filepath"
 
 	"repro/internal/collect"
+	"repro/internal/colstore"
 	"repro/internal/snapshot"
+	"repro/internal/tracefmt"
 )
 
 // A checkpoint is one completed shard on disk: a small JSON header
@@ -25,6 +28,12 @@ import (
 //
 //	"FSFLEET1" | u32 len + header JSON | u64 len + stream | u32 snapCount
 //	| per snapshot: u64 len + snapshot JSON
+//	| optional: u64 len + columnar segment (Config.Columnar)
+//
+// The columnar section is strictly additive: checkpoints written before
+// it existed (or with Columnar off) simply end after the snapshots, and
+// loaders treat the absent section as "no segment". The row stream stays
+// verbatim either way, preserving the byte-identical-store invariant.
 //
 // Files are written to <name>.ckpt.tmp and renamed into place, so a kill
 // mid-write leaves no valid-looking partial checkpoint; loaders treat any
@@ -46,6 +55,7 @@ type checkpoint struct {
 	ProcNames   map[uint32]string
 	Stream      []byte
 	Snapshots   []*snapshot.Snapshot
+	Segment     []byte
 }
 
 func checkpointPath(dir, machine string) string {
@@ -84,6 +94,18 @@ func (e *Engine) writeCheckpoint(sh *shard) error {
 		}
 		binary.Write(&buf, binary.LittleEndian, uint64(sb.Len()))
 		buf.Write(sb.Bytes())
+	}
+	if e.cfg.Columnar {
+		recs, err := decodeForColumnar(stream, count)
+		if err != nil {
+			return err
+		}
+		seg, _, err := colstore.EncodeSegment(recs, colstore.Options{Metrics: e.colM})
+		if err != nil {
+			return fmt.Errorf("fleet: columnar checkpoint %q: %w", sh.spec.Name, err)
+		}
+		binary.Write(&buf, binary.LittleEndian, uint64(len(seg)))
+		buf.Write(seg)
 	}
 	final := checkpointPath(e.cfg.CheckpointDir, sh.spec.Name)
 	tmp := final + ".tmp"
@@ -161,5 +183,48 @@ func loadCheckpoint(path, fingerprint string) (*checkpoint, error) {
 		}
 		ck.Snapshots = append(ck.Snapshots, snap)
 	}
+	// Optional columnar section: absent in pre-columnar checkpoints.
+	if r.Len() > 0 {
+		var segLen uint64
+		if err := binary.Read(r, binary.LittleEndian, &segLen); err != nil {
+			return nil, err
+		}
+		if segLen != uint64(r.Len()) {
+			return nil, fmt.Errorf("fleet: %s: columnar section length %d != %d remaining bytes", path, segLen, r.Len())
+		}
+		seg := make([]byte, segLen)
+		if _, err := io.ReadFull(r, seg); err != nil {
+			return nil, err
+		}
+		// Validate now so restore never hands back a corrupt segment;
+		// the count must also match the row stream's.
+		opened, err := colstore.OpenSegment(seg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %s: columnar section: %w", path, err)
+		}
+		if opened.Records() != h.Records {
+			return nil, fmt.Errorf("fleet: %s: columnar section holds %d records, header says %d", path, opened.Records(), h.Records)
+		}
+		ck.Segment = seg
+	}
 	return ck, nil
+}
+
+// decodeForColumnar materializes a checkpointed row stream's records for
+// columnar encoding. An empty stream (machine with no records) yields no
+// records and, upstream, an empty segment.
+func decodeForColumnar(stream []byte, count int) ([]tracefmt.Record, error) {
+	if len(stream) == 0 {
+		return nil, nil
+	}
+	zr := flate.NewReader(bytes.NewReader(stream))
+	defer zr.Close()
+	rd := tracefmt.NewReader(zr)
+	recs := make([]tracefmt.Record, count)
+	for i := range recs {
+		if err := rd.ReadInto(&recs[i]); err != nil {
+			return nil, fmt.Errorf("fleet: columnar encode: record %d of %d: %w", i, count, err)
+		}
+	}
+	return recs, nil
 }
