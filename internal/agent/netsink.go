@@ -31,6 +31,7 @@ type NetSink struct {
 	cfg     NetSinkConfig
 
 	mu       sync.Mutex
+	drained  sync.Cond // signalled when up∧count==0 becomes true, or on close
 	client   *collect.Client
 	up       bool // connected, ring drained: direct sends
 	retrying bool // background reconnect goroutine active
@@ -167,6 +168,7 @@ func NewNetSinkConfig(addr, machine string, cfg NetSinkConfig) (*NetSink, error)
 	n := &NetSink{addr: addr, machine: machine, cfg: cfg,
 		ring: make([]spillEntry, cfg.SpillSlots),
 		m:    newNetMetrics(cfg.Obs, machine)}
+	n.drained.L = &n.mu
 	c, err := n.dial()
 	switch {
 	case err == nil:
@@ -299,6 +301,7 @@ func (n *NetSink) retryLoop() {
 		if drained {
 			n.up = true
 			n.retrying = false
+			n.drained.Broadcast()
 			n.mu.Unlock()
 			return
 		}
@@ -338,19 +341,31 @@ func (n *NetSink) Connected() bool {
 // Close waits (bounded by DrainTimeout) for the spill ring to drain, then
 // ends the stream cleanly. Anything still undelivered at the deadline is
 // counted as lost — the accounting, not the error return, is the loss
-// contract; the error reports a failed clean-close marker.
+// contract; the error reports a failed clean-close marker. Close is
+// idempotent: a second call returns nil immediately without touching the
+// accounting. The drain wait is event-driven — the reconnect loop
+// signals the condition the moment the ring empties — so Close returns
+// as soon as the last buffer is acked instead of at the next poll tick.
 func (n *NetSink) Close() error {
-	deadline := time.Now().Add(n.cfg.DrainTimeout)
-	for {
-		n.mu.Lock()
-		if (n.up && n.count == 0) || !time.Now().Before(deadline) {
-			break
-		}
+	n.mu.Lock()
+	if n.closed {
 		n.mu.Unlock()
-		time.Sleep(2 * time.Millisecond)
+		return nil
 	}
-	// mu held.
+	deadline := time.Now().Add(n.cfg.DrainTimeout)
+	// The timer turns the deadline into a wake-up: waiters re-check the
+	// clock, so a stalled reconnect cannot park Close past DrainTimeout.
+	timer := time.AfterFunc(n.cfg.DrainTimeout, n.drained.Broadcast)
+	for !(n.up && n.count == 0) && !n.closed && time.Now().Before(deadline) {
+		n.drained.Wait()
+	}
+	timer.Stop()
+	if n.closed { // lost the race with a concurrent Close
+		n.mu.Unlock()
+		return nil
+	}
 	n.closed = true
+	n.drained.Broadcast()
 	for i := 0; i < n.count; i++ {
 		n.m.lost.Add(uint64(len(n.ring[(n.head+i)%len(n.ring)].recs)))
 	}

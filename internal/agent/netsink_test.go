@@ -206,3 +206,134 @@ func TestCollectFaultsNetSinkLazyStart(t *testing.T) {
 		t.Error("Eager construction succeeded with a dead dialer")
 	}
 }
+
+// TestNetSinkClosePromptOnDrain pins the event-driven drain wait: Close
+// called while the server is unreachable must return as soon as the
+// reconnect loop drains the ring — nowhere near the (deliberately huge)
+// DrainTimeout — with every record accounted as shipped.
+func TestNetSinkClosePromptOnDrain(t *testing.T) {
+	srv, store := startCollect(t)
+	var allow atomic.Bool
+	sink, err := NewNetSinkConfig(srv.Addr(), "drain-node", NetSinkConfig{
+		SpillSlots:   16,
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+		DrainTimeout: 60 * time.Second,
+		Dial: func(addr string) (net.Conn, error) {
+			if !allow.Load() {
+				return nil, errors.New("injected: refused")
+			}
+			return net.Dial("tcp", addr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.TraceBuffer("drain-node", nsRecs(40, 1))
+	sink.TraceBuffer("drain-node", nsRecs(60, 2))
+	if sink.Connected() {
+		t.Fatal("sink connected through a refused dial")
+	}
+
+	closed := make(chan error, 1)
+	start := time.Now()
+	go func() { closed <- sink.Close() }()
+	// Let Close park on the drain condition, then open the path.
+	time.Sleep(20 * time.Millisecond)
+	allow.Store(true)
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after the ring drained")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Close took %v, want prompt return well under the 60s DrainTimeout", elapsed)
+	}
+	st := sink.Stats()
+	if st.Shipped != 100 || st.Lost != 0 {
+		t.Errorf("stats = %+v, want 100 shipped, 0 lost", st)
+	}
+	srv.Close()
+	if err := store.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if n := store.RecordCount("drain-node"); n != 100 {
+		t.Errorf("server stored %d records, want 100", n)
+	}
+}
+
+// TestNetSinkCloseDeadlineStalledReconnect pins the other half of the
+// drain contract: with the server permanently unreachable, Close returns
+// at DrainTimeout (not hung on the condition variable) and counts the
+// undelivered ring as lost.
+func TestNetSinkCloseDeadlineStalledReconnect(t *testing.T) {
+	sink, err := NewNetSinkConfig("127.0.0.1:1", "stalled-node", NetSinkConfig{
+		SpillSlots:   8,
+		BaseBackoff:  time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+		DrainTimeout: 100 * time.Millisecond,
+		Dial:         func(string) (net.Conn, error) { return nil, errors.New("injected: down") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.TraceBuffer("stalled-node", nsRecs(30, 1))
+	start := time.Now()
+	sink.Close()
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("Close returned after %v, before the 100ms DrainTimeout", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("Close took %v, want return at the 100ms DrainTimeout", elapsed)
+	}
+	if st := sink.Stats(); st.Shipped != 0 || st.Lost != 30 {
+		t.Errorf("stats = %+v, want 0 shipped, 30 lost", st)
+	}
+}
+
+// TestNetSinkCloseIdempotent pins the double-Close / send-after-Close
+// contract: the second Close is a prompt nil no-op (no re-wait, no
+// double-counted Lost), and buffers handed to a closed sink are counted
+// lost exactly once without panicking.
+func TestNetSinkCloseIdempotent(t *testing.T) {
+	srv, store := startCollect(t)
+	sink, err := NewNetSink(srv.Addr(), "idem-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.TraceBuffer("idem-node", nsRecs(25, 1))
+	if err := sink.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	first := sink.Stats()
+	if first.Shipped != 25 || first.Lost != 0 {
+		t.Fatalf("stats after first Close = %+v", first)
+	}
+
+	start := time.Now()
+	if err := sink.Close(); err != nil {
+		t.Errorf("second Close: %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("second Close took %v, want immediate return", elapsed)
+	}
+	if again := sink.Stats(); again != first {
+		t.Errorf("second Close changed stats: %+v -> %+v", first, again)
+	}
+
+	sink.TraceBuffer("idem-node", nsRecs(7, 2))
+	if st := sink.Stats(); st.Lost != 7 || st.Shipped != 25 {
+		t.Errorf("send after Close: stats = %+v, want 7 lost, 25 shipped", st)
+	}
+	srv.Close()
+	if err := store.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if n := store.RecordCount("idem-node"); n != 25 {
+		t.Errorf("server stored %d records, want 25", n)
+	}
+}

@@ -3,8 +3,11 @@ package collect
 import (
 	"errors"
 	"net"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"repro/internal/colstore"
 	"repro/internal/ntos/types"
 	"repro/internal/sim"
 	"repro/internal/tracefmt"
@@ -305,5 +308,137 @@ func TestFinalizeMachine(t *testing.T) {
 	}
 	if recs, _ := s.Records("b"); len(recs) != 40 {
 		t.Errorf("b: %d records", len(recs))
+	}
+}
+
+// TestSaveLoadDirExactNames pins the Save→Load rename fix: machine names
+// that SafeName rewrites (path separators, colons) or that collide onto
+// one flattened stem must round-trip exactly through both corpus
+// layouts, via the stem manifest written beside the streams.
+func TestSaveLoadDirExactNames(t *testing.T) {
+	names := map[string]int{
+		"pool/01":         10, // rewritten: '/' → '_'
+		"pool:01":         20, // rewritten, collides with pool/01 and pool_01
+		"pool_01":         30, // already safe, collides
+		"lab\\win\\nt-07": 40, // backslashes rewritten
+		"plain-node":      50, // untouched by SafeName
+	}
+	s := NewStore()
+	fid := uint64(1)
+	for name, n := range names {
+		if err := s.Append(name, mkRecs(n, fid)); err != nil {
+			t.Fatal(err)
+		}
+		fid++
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(t *testing.T, got []string, counts func(string) int) {
+		t.Helper()
+		if len(got) != len(names) {
+			t.Fatalf("loaded machines %v, want the %d original names", got, len(names))
+		}
+		for _, name := range got {
+			want, ok := names[name]
+			if !ok {
+				t.Errorf("loaded machine %q is not an original name", name)
+				continue
+			}
+			if n := counts(name); n != want {
+				t.Errorf("machine %q: %d records, want %d", name, n, want)
+			}
+		}
+	}
+
+	t.Run("row", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := s.SaveDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, loaded.Machines(), loaded.RecordCount)
+	})
+
+	t.Run("columnar", func(t *testing.T) {
+		dir := t.TempDir()
+		if _, err := s.SaveColumnarDir(dir, colstore.Options{}, nil); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := LoadColumnarDir(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]string, 0, len(segs))
+		for name := range segs {
+			got = append(got, name)
+		}
+		check(t, got, func(name string) int { return segs[name].Records() })
+	})
+}
+
+// TestLoadDirManifestMismatch pins the fail-closed contract: a stream
+// file whose stem the manifest does not list is a typed error, not a
+// silently stem-named machine.
+func TestLoadDirManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore()
+	s.Append("alpha", mkRecs(5, 1))
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SaveColumnarDir(dir, colstore.Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A stray stream from some other corpus appears in the directory.
+	for _, stray := range []string{"stray.trz", "stray.fsc"} {
+		src := "alpha.trz"
+		if stray == "stray.fsc" {
+			src = "alpha.fsc"
+		}
+		data, err := os.ReadFile(filepath.Join(dir, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, stray), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadDir(dir); !errors.Is(err, ErrManifestMismatch) {
+		t.Errorf("LoadDir with stray stream: err = %v, want ErrManifestMismatch", err)
+	}
+	if _, err := LoadColumnarDir(dir, nil); !errors.Is(err, ErrManifestMismatch) {
+		t.Errorf("LoadColumnarDir with stray segment: err = %v, want ErrManifestMismatch", err)
+	}
+}
+
+// TestLoadDirLegacyNoManifest pins backward compatibility: a corpus
+// saved before the stem manifest existed loads with stem names.
+func TestLoadDirLegacyNoManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore()
+	s.Append("node/a", mkRecs(5, 1))
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, StemManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Machines(); len(got) != 1 || got[0] != "node_a" {
+		t.Errorf("legacy load machines = %v, want [node_a]", got)
 	}
 }

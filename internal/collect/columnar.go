@@ -27,7 +27,8 @@ func (s *Store) SaveColumnarDir(dir string, opts colstore.Options, prebuilt map[
 		return nil, err
 	}
 	sums := make(map[string]colstore.Summary)
-	for _, mf := range s.fileStems() {
+	stems := s.fileStems()
+	for _, mf := range stems {
 		var data []byte
 		var sum colstore.Summary
 		if pre := prebuilt[mf.machine]; pre != nil {
@@ -52,14 +53,24 @@ func (s *Store) SaveColumnarDir(dir string, opts colstore.Options, prebuilt map[
 		}
 		sums[mf.machine] = sum
 	}
+	if err := writeStemManifest(dir, stems); err != nil {
+		return nil, err
+	}
 	return sums, nil
 }
 
-// LoadColumnarDir opens every *.fsc segment in dir, keyed by file stem
-// (the machine name under the SaveDir conventions). Metrics m may be
-// nil; when set, every opened segment reports scans against it.
+// LoadColumnarDir opens every *.fsc segment in dir, keyed by true
+// machine name: the stem manifest written at save time resolves
+// SafeName-rewritten and collision-suffixed stems back to the names the
+// streams were collected under, and a corpus without a manifest keeps
+// the file stems. Metrics m may be nil; when set, every opened segment
+// reports scans against it.
 func LoadColumnarDir(dir string, m *colstore.Metrics) (map[string]*colstore.Segment, error) {
 	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	stems, err := readStemManifest(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +87,11 @@ func LoadColumnarDir(dir string, m *colstore.Metrics) (map[string]*colstore.Segm
 		if err != nil {
 			return nil, fmt.Errorf("collect: %s: %w", e.Name(), err)
 		}
-		segs[strings.TrimSuffix(e.Name(), ColumnarExt)] = seg
+		name, err := machineForStem(stems, strings.TrimSuffix(e.Name(), ColumnarExt), e.Name())
+		if err != nil {
+			return nil, err
+		}
+		segs[name] = seg
 	}
 	return segs, nil
 }

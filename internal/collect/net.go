@@ -306,6 +306,12 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ErrClientClosed reports a send attempted on a Client whose stream has
+// already been ended by Close. Callers test with errors.Is; the sink
+// layer treats it like any other failed send (the records spill and a
+// fresh connection is dialed).
+var ErrClientClosed = errors.New("collect: client closed")
+
 // Client is an agent-side connection to a collection server. It is not
 // safe for concurrent use; agent.NetSink serialises access to it.
 type Client struct {
@@ -319,6 +325,7 @@ type Client struct {
 
 	lastAcked uint64
 	nextSeq   uint64
+	closed    bool
 }
 
 // Dial connects to a collection server and announces the machine name.
@@ -363,8 +370,9 @@ func (c *Client) LastAcked() uint64 { return c.lastAcked }
 
 func (c *Client) readAck() (uint64, error) {
 	if c.AckTimeout > 0 {
-		c.conn.SetReadDeadline(time.Now().Add(c.AckTimeout))
-		defer c.conn.SetReadDeadline(time.Time{})
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.AckTimeout)); err != nil {
+			return 0, err
+		}
 	}
 	var buf [ackSize]byte
 	if _, err := io.ReadFull(c.br, buf[:]); err != nil {
@@ -372,6 +380,15 @@ func (c *Client) readAck() (uint64, error) {
 	}
 	if string(buf[:4]) != string(ackMagic) {
 		return 0, errors.New("collect: bad ack magic")
+	}
+	// Clear the deadline only on success: once the read has failed the
+	// connection is dead and will be closed, and a deferred clear would
+	// run regardless with its error discarded, leaving a connection that
+	// reports success while carrying stale deadline state.
+	if c.AckTimeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Time{}); err != nil {
+			return 0, err
+		}
 	}
 	return binary.LittleEndian.Uint64(buf[4:]), nil
 }
@@ -391,6 +408,9 @@ func (c *Client) Send(recs []tracefmt.Record) error {
 func (c *Client) SendSeq(seq uint64, recs []tracefmt.Record) error {
 	if len(recs) == 0 {
 		return nil
+	}
+	if c.closed {
+		return ErrClientClosed
 	}
 	if len(recs) > MaxFrameRecords {
 		return fmt.Errorf("collect: frame of %d records exceeds limit %d", len(recs), MaxFrameRecords)
@@ -419,8 +439,14 @@ func (c *Client) SendSeq(seq uint64, recs []tracefmt.Record) error {
 
 // Close ends the stream cleanly: the end frame is flushed and the final
 // ack awaited, so a lost clean-close marker surfaces here as an error
-// instead of silently registering as a truncation on the server.
+// instead of silently registering as a truncation on the server. Close
+// is idempotent — a second call is a no-op returning nil — and any later
+// send fails with ErrClientClosed.
 func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	err := binary.Write(c.bw, binary.LittleEndian, uint32(0))
 	if err == nil {
 		err = c.bw.Flush()

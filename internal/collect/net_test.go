@@ -403,3 +403,95 @@ func TestCollectFaultsRandomScheduleDeterministic(t *testing.T) {
 		t.Error("different seeds produced identical schedules")
 	}
 }
+
+// TestClientSlowAckTimeout pins the AckTimeout contract on the slow-ack
+// path: a server that stores a frame but never acknowledges it must fail
+// the Send with a timeout error at the deadline, not hang forever.
+func TestClientSlowAckTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// A hand-rolled endpoint that completes the handshake, then reads the
+	// first frame and goes silent.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		head := make([]byte, len(magic))
+		if _, err := io.ReadFull(conn, head); err != nil {
+			return
+		}
+		var nameLen uint32
+		binary.Read(conn, binary.LittleEndian, &nameLen)
+		name := make([]byte, nameLen)
+		io.ReadFull(conn, name)
+		writeAck(conn, 0)
+		// Swallow the frame header and payload, then never ack.
+		var count uint32
+		binary.Read(conn, binary.LittleEndian, &count)
+		var seq uint64
+		binary.Read(conn, binary.LittleEndian, &seq)
+		body := make([]byte, int(count)*tracefmt.RecordSize)
+		io.ReadFull(conn, body)
+		time.Sleep(10 * time.Second)
+	}()
+
+	c, err := Dial(ln.Addr().String(), "slow-ack-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	c.AckTimeout = 100 * time.Millisecond
+	start := time.Now()
+	err = c.Send(mkRecs(10, 1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Send with silent server succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("Send error = %v, want a net timeout", err)
+	}
+	if elapsed < 100*time.Millisecond || elapsed > 5*time.Second {
+		t.Errorf("Send failed after %v, want ~100ms AckTimeout", elapsed)
+	}
+}
+
+// TestClientCloseIdempotent pins the client-side close contract: Close
+// twice is nil both times, and a send on the closed client fails with
+// ErrClientClosed instead of scribbling on the ended stream.
+func TestClientCloseIdempotent(t *testing.T) {
+	srv, store := startServer(t)
+	c, err := Dial(srv.Addr(), "idem-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(mkRecs(15, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close: %v, want nil", err)
+	}
+	if err := c.Send(mkRecs(5, 2)); !errors.Is(err, ErrClientClosed) {
+		t.Errorf("Send after Close = %v, want ErrClientClosed", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range srv.Errors() {
+		t.Errorf("server error: %v", e)
+	}
+	if err := store.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if n := store.RecordCount("idem-client"); n != 15 {
+		t.Errorf("stored %d records, want 15", n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"crypto/sha256"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -356,13 +357,81 @@ func (s *Store) fileStems() []machineFile {
 	return out
 }
 
+// StemManifestName is the corpus-directory file recording the stem →
+// machine-name assignment. SafeName flattening is lossy ("pool/01" and
+// "pool:01" both land on "pool_01", with a numeric suffix breaking the
+// tie), so without this manifest a Save→Load round trip silently renames
+// any machine whose name was rewritten or collided. Both corpus layouts
+// share one manifest: <stem>.trz and <stem>.fsc name the same machine.
+const StemManifestName = "machines.json"
+
+// ErrManifestMismatch reports a corpus directory whose stem manifest
+// disagrees with the files on disk — a stream file whose stem the
+// manifest does not mention. That means the directory holds a mix of
+// corpora (or a manifest from a different save) and the true machine
+// names cannot be trusted; callers test with errors.Is.
+var ErrManifestMismatch = errors.New("collect: stem manifest mismatch")
+
+// stemManifest is the on-disk schema of StemManifestName.
+type stemManifest struct {
+	Version int `json:"version"`
+	// Stems maps file stem → true machine name.
+	Stems map[string]string `json:"stems"`
+}
+
+// writeStemManifest persists the stem assignment beside the streams.
+func writeStemManifest(dir string, stems []machineFile) error {
+	man := stemManifest{Version: 1, Stems: make(map[string]string, len(stems))}
+	for _, mf := range stems {
+		man.Stems[mf.stem] = mf.machine
+	}
+	data, err := json.MarshalIndent(&man, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, StemManifestName), append(data, '\n'), 0o644)
+}
+
+// readStemManifest loads the stem → machine map, or nil when the corpus
+// predates the manifest (names then fall back to the raw stems).
+func readStemManifest(dir string) (map[string]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, StemManifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var man stemManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("collect: %s: %w", StemManifestName, err)
+	}
+	return man.Stems, nil
+}
+
+// machineForStem resolves a file stem to its true machine name under the
+// manifest (nil = legacy corpus, stem is the name).
+func machineForStem(stems map[string]string, stem, file string) (string, error) {
+	if stems == nil {
+		return stem, nil
+	}
+	name, ok := stems[stem]
+	if !ok {
+		return "", fmt.Errorf("%w: %s has no entry for %q", ErrManifestMismatch, StemManifestName, file)
+	}
+	return name, nil
+}
+
 // SaveDir writes each finalized stream as <dir>/<machine>.trz, with
-// colliding flattened names disambiguated per fileStems.
+// colliding flattened names disambiguated per fileStems and the stem →
+// machine assignment recorded in StemManifestName so LoadDir restores
+// the true names.
 func (s *Store) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for _, mf := range s.fileStems() {
+	stems := s.fileStems()
+	for _, mf := range stems {
 		data, _, err := s.ExportStream(mf.machine)
 		if err != nil {
 			return err
@@ -372,13 +441,19 @@ func (s *Store) SaveDir(dir string) error {
 			return err
 		}
 	}
-	return nil
+	return writeStemManifest(dir, stems)
 }
 
 // LoadDir reads every *.trz file in dir into a finalized Store. Machine
-// names are the file stems.
+// names come from the stem manifest when present (exact round trip of
+// SaveDir, including SafeName-rewritten and colliding names); a corpus
+// without one keeps the file stems as names.
 func LoadDir(dir string) (*Store, error) {
 	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	stems, err := readStemManifest(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -391,7 +466,10 @@ func LoadDir(dir string) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		name := strings.TrimSuffix(e.Name(), ".trz")
+		name, err := machineForStem(stems, strings.TrimSuffix(e.Name(), ".trz"), e.Name())
+		if err != nil {
+			return nil, err
+		}
 		// Count records by streaming through the stream once, without
 		// materializing it.
 		zr := flate.NewReader(bytes.NewReader(data))

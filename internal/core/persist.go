@@ -86,6 +86,22 @@ func (s *Study) Save(dir string) error {
 
 func safe(s string) string { return collect.SafeName(s) }
 
+// Corpus is a loaded study directory with every layer kept accessible:
+// the analysis DataSet (what the report pipeline consumes), the raw
+// columnar segments (what the pushdown scan engine serves), the row
+// store for machines saved without a segment, and the snapshots. The
+// query service holds one of these for its whole lifetime.
+type Corpus struct {
+	DS    *analysis.DataSet
+	Snaps []*snapshot.Snapshot
+	// Segments holds the columnar form keyed by true machine name; a
+	// machine absent here was loaded from its row stream.
+	Segments map[string]*colstore.Segment
+	// Store holds the row streams (possibly empty for a pure-columnar
+	// corpus), keyed by true machine name.
+	Store *collect.Store
+}
+
 // Load reads a saved study directory back into an analysis corpus and
 // its snapshots. Machines saved as columnar segments (*.fsc) decode
 // through the colstore scan engine — the index pre-seeded from a narrow
@@ -100,25 +116,43 @@ func Load(dir string) (*analysis.DataSet, []*snapshot.Snapshot, error) {
 // every opened segment counts blocks scanned/skipped and bytes decoded
 // per column family on the colstore bundle.
 func LoadObs(dir string, reg *obs.Registry) (*analysis.DataSet, []*snapshot.Snapshot, error) {
-	segs, err := collect.LoadColumnarDir(dir, colstore.NewMetrics(reg))
+	c, err := LoadCorpus(dir, reg)
 	if err != nil {
 		return nil, nil, err
 	}
+	return c.DS, c.Snaps, nil
+}
+
+// LoadCorpus is LoadObs keeping the storage layers open alongside the
+// DataSet, so callers that serve both decoded analyses and raw pushdown
+// scans (the query service) load the directory exactly once.
+func LoadCorpus(dir string, reg *obs.Registry) (*Corpus, error) {
+	segs, err := collect.LoadColumnarDir(dir, colstore.NewMetrics(reg))
+	if err != nil {
+		return nil, err
+	}
 	store, err := collect.LoadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var man manifest
 	if data, err := os.ReadFile(filepath.Join(dir, "manifest.json")); err == nil {
 		if err := json.Unmarshal(data, &man); err != nil {
-			return nil, nil, fmt.Errorf("core: manifest: %w", err)
+			return nil, fmt.Errorf("core: manifest: %w", err)
 		}
 	}
 	cats := map[string]machine.Category{}
 	procs := map[string]map[uint32]string{}
+	// Streams from a corpus without a stem manifest surface under their
+	// flattened file stems, so register those keys first and let the true
+	// names (the stem-manifest round trip) overwrite them.
 	for _, e := range man.Machines {
 		cats[safe(e.Name)] = machine.Category(e.Category)
 		procs[safe(e.Name)] = e.ProcNames
+	}
+	for _, e := range man.Machines {
+		cats[e.Name] = machine.Category(e.Category)
+		procs[e.Name] = e.ProcNames
 	}
 	// Union of both layouts, row names first (sorted), then any
 	// columnar-only machines in sorted order.
@@ -141,12 +175,12 @@ func LoadObs(dir string, reg *obs.Registry) (*analysis.DataSet, []*snapshot.Snap
 		if seg := segs[name]; seg != nil {
 			mt, err = analysis.NewMachineTraceColumnar(name, cats[name], seg)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		} else {
 			recs, err := store.Records(name)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			mt = analysis.NewMachineTraceOwned(name, cats[name], recs)
 		}
@@ -156,7 +190,7 @@ func LoadObs(dir string, reg *obs.Registry) (*analysis.DataSet, []*snapshot.Snap
 	var snaps []*snapshot.Snapshot
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	for _, e := range entries {
 		if !strings.HasSuffix(e.Name(), ".snap.json") {
@@ -164,14 +198,14 @@ func LoadObs(dir string, reg *obs.Registry) (*analysis.DataSet, []*snapshot.Snap
 		}
 		f, err := os.Open(filepath.Join(dir, e.Name()))
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		snap, err := snapshot.Read(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: %s: %w", e.Name(), err)
+			return nil, fmt.Errorf("core: %s: %w", e.Name(), err)
 		}
 		snaps = append(snaps, snap)
 	}
-	return ds, snaps, nil
+	return &Corpus{DS: ds, Snaps: snaps, Segments: segs, Store: store}, nil
 }

@@ -1,0 +1,133 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// cacheShards fixes the shard fan-out of the result cache. Requests hash
+// uniformly over shards by key, so the per-shard mutex is contended only
+// at 1/cacheShards of the request rate; 16 shards keep even a saturated
+// admission pool (bounded by MaxInflight, typically ≤ 2×GOMAXPROCS)
+// effectively contention-free.
+const cacheShards = 16
+
+// Cache is a sharded, byte-bounded LRU of rendered response bodies. Keys
+// are result identities — SHA-256 over (corpus SHA ‖ canonical query) —
+// so a hit can be served verbatim: the stored bytes ARE the response the
+// cold path produced, making cold and cached replies byte-identical by
+// construction.
+type Cache struct {
+	shardMax int64
+	shards   [cacheShards]cacheShard
+
+	hits, misses, evictions *obs.Counter
+	entries, bytes          *obs.Gauge
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recent; values are *cacheEntry
+	table map[cacheKey]*list.Element
+	bytes int64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// NewCache builds a cache bounded by maxBytes across all shards. The
+// registry (nil ok) receives the hit/miss/eviction accounting.
+func NewCache(maxBytes int64, reg *obs.Registry) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	c := &Cache{
+		shardMax: maxBytes / cacheShards,
+		hits: reg.Counter("query_cache_hits_total",
+			"query results served from the LRU result cache"),
+		misses: reg.Counter("query_cache_misses_total",
+			"query results computed cold (absent from the result cache)"),
+		evictions: reg.Counter("query_cache_evictions_total",
+			"cached results evicted to respect the cache byte bound"),
+		entries: reg.Gauge("query_cache_entries",
+			"results currently resident in the cache"),
+		bytes: reg.Gauge("query_cache_bytes",
+			"bytes of response bodies currently cached"),
+	}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].table = map[cacheKey]*list.Element{}
+	}
+	return c
+}
+
+func (c *Cache) shard(key cacheKey) *cacheShard {
+	return &c.shards[int(key[0])%cacheShards]
+}
+
+// Get returns the cached body for key, marking it most-recently used.
+// The returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(key cacheKey) ([]byte, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.table[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting least-recently-used entries from
+// the shard until it fits. A body larger than a whole shard is not
+// cached at all (it would evict everything and then still thrash).
+func (c *Cache) Put(key cacheKey, body []byte) {
+	if int64(len(body)) > c.shardMax {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.table[key]; ok {
+		// Deterministic bodies make a concurrent double-compute benign:
+		// both writers carry identical bytes, keep the resident one.
+		sh.lru.MoveToFront(el)
+		return
+	}
+	for sh.bytes+int64(len(body)) > c.shardMax {
+		back := sh.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		sh.lru.Remove(back)
+		delete(sh.table, ev.key)
+		sh.bytes -= int64(len(ev.body))
+		c.evictions.Inc()
+		c.entries.Add(-1)
+		c.bytes.Add(-int64(len(ev.body)))
+	}
+	sh.table[key] = sh.lru.PushFront(&cacheEntry{key: key, body: body})
+	sh.bytes += int64(len(body))
+	c.entries.Add(1)
+	c.bytes.Add(int64(len(body)))
+}
+
+// Len reports resident entries across shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return n
+}

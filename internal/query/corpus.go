@@ -1,0 +1,224 @@
+// Package query is the corpus serving layer: an HTTP JSON service that
+// loads a saved trace corpus once and answers repeated questions about
+// it cheaply — raw predicate-pushdown scans through the colstore engine
+// and the paper's report artifacts through the analysis pipeline — from
+// a sharded LRU result cache keyed by corpus identity and canonicalized
+// query. It is the role SQL Server 7's star-schema OLAP warehouse played
+// in §4 of the paper: the ~190M-record corpus was only useful because it
+// could be queried interactively, many times, without re-reading tapes.
+//
+// Determinism contract: identical queries return byte-identical bodies
+// whether served cold, from cache, or at any worker count. The cache
+// stores the exact bytes the cold path rendered; the cold path fans out
+// per machine into slot-indexed results merged in sorted machine order;
+// and the report path reuses report.ComputeWorkers, whose output is
+// already worker-count-invariant.
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/collect"
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/tracefmt"
+)
+
+// cacheKey is a result identity: SHA-256 over corpus SHA ‖ canonical
+// query string.
+type cacheKey [sha256.Size]byte
+
+// Corpus is a loaded corpus directory pinned in memory for serving:
+// the columnar segments (pushdown scans), the row streams for machines
+// saved without a segment (scan fallback), the analysis DataSet (report
+// artifacts) and the corpus identity digest that scopes every cache key.
+type Corpus struct {
+	Dir string
+	// SHA identifies the corpus content: a digest over the sorted
+	// (machine name, logical record-stream SHA-256) pairs. The row and
+	// columnar forms of the same corpus digest identically, because the
+	// colstore footer SHA is defined over the logical record stream.
+	SHA [sha256.Size]byte
+
+	machines []string // sorted true machine names
+	segs     map[string]*colstore.Segment
+	rows     map[string][]tracefmt.Record // stream-order fallback records
+	ds       *analysis.DataSet
+	snaps    int
+	parts    *core.Corpus
+}
+
+// OpenCorpus loads dir exactly once — columnar segments preferred, row
+// streams as fallback — and computes the corpus identity. The registry
+// (nil ok) receives colstore pushdown-ledger metrics for every scan the
+// service runs later.
+func OpenCorpus(dir string, reg *obs.Registry) (*Corpus, error) {
+	parts, err := core.LoadCorpus(dir, reg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{
+		Dir:   dir,
+		segs:  parts.Segments,
+		rows:  map[string][]tracefmt.Record{},
+		ds:    parts.DS,
+		snaps: len(parts.Snaps),
+		parts: parts,
+	}
+	for _, mt := range parts.DS.Machines {
+		c.machines = append(c.machines, mt.Name)
+	}
+	sort.Strings(c.machines)
+	if len(c.machines) == 0 {
+		return nil, fmt.Errorf("query: %s holds no trace streams", dir)
+	}
+
+	// Row-fallback machines keep their stream-order records resident:
+	// scans over them must visit rows in the same order a columnar
+	// segment of the same stream would.
+	for _, name := range parts.Store.Machines() {
+		if c.segs[name] != nil {
+			continue
+		}
+		recs, err := parts.Store.Records(name)
+		if err != nil {
+			return nil, fmt.Errorf("query: %s: %w", name, err)
+		}
+		c.rows[name] = recs
+	}
+
+	h := sha256.New()
+	for _, name := range c.machines {
+		var sum [sha256.Size]byte
+		if seg := c.segs[name]; seg != nil {
+			sum = seg.SHA256()
+		} else if recs, ok := c.rows[name]; ok {
+			sum = colstore.RowStreamSHA(recs)
+		} else {
+			return nil, fmt.Errorf("query: machine %q has neither segment nor row stream", name)
+		}
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		h.Write(sum[:])
+	}
+	h.Sum(c.SHA[:0])
+	return c, nil
+}
+
+// SHAHex is the corpus identity as the API renders it.
+func (c *Corpus) SHAHex() string { return hex.EncodeToString(c.SHA[:]) }
+
+// Machines lists the sorted true machine names.
+func (c *Corpus) Machines() []string { return c.machines }
+
+// Columnar reports whether the machine is served by a colstore segment
+// (true) or the row-stream fallback (false).
+func (c *Corpus) Columnar(name string) bool { return c.segs[name] != nil }
+
+// Records reports the record count of one machine.
+func (c *Corpus) Records(name string) int {
+	if seg := c.segs[name]; seg != nil {
+		return seg.Records()
+	}
+	return len(c.rows[name])
+}
+
+// TotalRecords sums record counts across the corpus.
+func (c *Corpus) TotalRecords() int {
+	n := 0
+	for _, m := range c.machines {
+		n += c.Records(m)
+	}
+	return n
+}
+
+// DataSet exposes the decoded analysis corpus (report artifacts).
+func (c *Corpus) DataSet() *analysis.DataSet { return c.ds }
+
+// Parts exposes the underlying storage layers.
+func (c *Corpus) Parts() *core.Corpus { return c.parts }
+
+// ScanMachine runs one machine's scan: pushdown through the colstore
+// engine when a segment exists, an equivalent row-order filter over the
+// resident records otherwise. Both paths produce rows in stream order,
+// so the same corpus answers identically from either layout.
+func (c *Corpus) ScanMachine(name string, p colstore.Predicate, cols colstore.ColumnSet) (*colstore.Batch, error) {
+	if seg := c.segs[name]; seg != nil {
+		return seg.ScanColumns(p, cols)
+	}
+	recs, ok := c.rows[name]
+	if !ok {
+		return nil, fmt.Errorf("%w for machine %q", collect.ErrNoRecords, name)
+	}
+	return scanRows(recs, p, cols), nil
+}
+
+// scanRows is the row-fallback scan: the exact predicate applied to each
+// record in stream order, projected into the same Batch shape the
+// columnar scan produces.
+func scanRows(recs []tracefmt.Record, p colstore.Predicate, cols colstore.ColumnSet) *colstore.Batch {
+	var want *[256]bool
+	if len(p.Kinds) > 0 {
+		var w [256]bool
+		for _, k := range p.Kinds {
+			w[byte(k)] = true
+		}
+		want = &w
+	}
+	out := &colstore.Batch{}
+	for i := range recs {
+		r := &recs[i]
+		if want != nil && !want[byte(r.Kind)] {
+			continue
+		}
+		if p.MinStart > 0 && r.Start < p.MinStart {
+			continue
+		}
+		if p.MaxStart > 0 && r.Start > p.MaxStart {
+			continue
+		}
+		out.N++
+		if cols&colstore.ScanKind != 0 {
+			out.Kinds = append(out.Kinds, r.Kind)
+		}
+		if cols&colstore.ScanStart != 0 {
+			out.Starts = append(out.Starts, r.Start)
+		}
+		if cols&colstore.ScanEnd != 0 {
+			out.Ends = append(out.Ends, r.End)
+		}
+		if cols&colstore.ScanOffset != 0 {
+			out.Offsets = append(out.Offsets, r.Offset)
+		}
+		if cols&colstore.ScanLength != 0 {
+			out.Lengths = append(out.Lengths, r.Length)
+		}
+		if cols&colstore.ScanReturned != 0 {
+			out.Returns = append(out.Returns, r.Returned)
+		}
+		if cols&colstore.ScanFileSize != 0 {
+			out.FileSizes = append(out.FileSizes, r.FileSize)
+		}
+		if cols&colstore.ScanProc != 0 {
+			out.Procs = append(out.Procs, r.Proc)
+		}
+		if cols&colstore.ScanFileID != 0 {
+			out.FileIDs = append(out.FileIDs, r.FileID)
+		}
+		if cols&colstore.ScanStatus != 0 {
+			out.Statuses = append(out.Statuses, r.Status)
+		}
+		if cols&colstore.ScanFlags != 0 {
+			out.Flags = append(out.Flags, r.Flags)
+		}
+		if cols&colstore.ScanAnnot != 0 {
+			out.Annots = append(out.Annots, r.Annot)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// LoadConfig tunes the built-in load generator (fsqueryd -load).
+type LoadConfig struct {
+	Clients  int           // concurrent request loops (default 16)
+	Requests int           // requests per client (default 200)
+	Seed     uint64        // query mix seed (default 1)
+	Timeout  time.Duration // per-request client timeout (default 10s)
+}
+
+// LoadStats summarizes one load run.
+type LoadStats struct {
+	Sent     int
+	OK       int           // 200
+	Rejected int           // 429 — the backpressure path working as designed
+	Errors   int           // transport errors and other statuses
+	Wall     time.Duration // end-to-end run time
+}
+
+func (s LoadStats) String() string {
+	return fmt.Sprintf("load: sent=%d ok=%d rejected=%d errors=%d wall=%s",
+		s.Sent, s.OK, s.Rejected, s.Errors, s.Wall.Round(time.Millisecond))
+}
+
+// RunLoad drives a randomized but seed-deterministic query mix — scans
+// across kinds/windows/limits, report artifacts, machine listings —
+// against a running service. It exists to exercise the admission pool:
+// point enough clients at a small MaxInflight and the 429 path fires.
+func RunLoad(ctx context.Context, baseURL string, machines []string, cfg LoadConfig) LoadStats {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 16
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 200
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+
+	kindMixes := []string{"", "Read", "Read,Write", "Create,Close", "3"}
+	artifacts := []string{"table1", "table2", "figure2", "figure5", "section8", "process"}
+
+	client := &http.Client{Timeout: cfg.Timeout}
+	var mu sync.Mutex
+	stats := LoadStats{}
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for _, rng := range sim.NewRNG(cfg.Seed).Split(cfg.Clients) {
+		wg.Add(1)
+		go func(rng *sim.RNG) {
+			defer wg.Done()
+			local := LoadStats{}
+			for i := 0; i < cfg.Requests; i++ {
+				if ctx.Err() != nil {
+					break
+				}
+				url := baseURL + nextQuery(rng, machines, kindMixes, artifacts)
+				local.Sent++
+				resp, err := client.Get(url)
+				if err != nil {
+					local.Errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					local.OK++
+				case http.StatusTooManyRequests:
+					local.Rejected++
+				default:
+					local.Errors++
+				}
+			}
+			mu.Lock()
+			stats.Sent += local.Sent
+			stats.OK += local.OK
+			stats.Rejected += local.Rejected
+			stats.Errors += local.Errors
+			mu.Unlock()
+		}(rng)
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+	return stats
+}
+
+// nextQuery picks one request from the mix: mostly scans (the cheap,
+// cacheable hot path), some report artifacts (the expensive path), a
+// few machine listings.
+func nextQuery(rng *sim.RNG, machines, kindMixes, artifacts []string) string {
+	switch {
+	case rng.Bool(0.70):
+		q := "/v1/scan?limit=" + fmt.Sprint(10+rng.Intn(40))
+		if kinds := kindMixes[rng.Intn(len(kindMixes))]; kinds != "" {
+			q += "&kinds=" + kinds
+		}
+		if rng.Bool(0.5) {
+			q += fmt.Sprintf("&min_h=%d&max_h=%d", rng.Intn(2), 2+rng.Intn(8))
+		}
+		if len(machines) > 0 && rng.Bool(0.3) {
+			q += "&machine=" + url.QueryEscape(machines[rng.Intn(len(machines))])
+		}
+		return q
+	case rng.Bool(0.5):
+		return "/v1/report?artifact=" + artifacts[rng.Intn(len(artifacts))]
+	default:
+		return "/v1/machines"
+	}
+}

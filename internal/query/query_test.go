@@ -1,0 +1,471 @@
+package query
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// testStudy builds one small fleet study, shared by every test in the
+// package, and saves it in both layouts: the columnar directory is the
+// primary fixture, the row directory proves layout equivalence.
+var (
+	studyOnce sync.Once
+	colDir    string
+	rowDir    string
+	studyErr  error
+)
+
+func corpusDirs(t *testing.T) (columnar, row string) {
+	t.Helper()
+	studyOnce.Do(func() {
+		s := core.NewStudy(core.Config{
+			Seed:        7,
+			Machines:    4,
+			Duration:    30 * sim.Minute,
+			WithNetwork: true,
+			Columnar:    true,
+		})
+		if studyErr = s.Run(); studyErr != nil {
+			return
+		}
+		colDir, studyErr = saveAs(s, true)
+		if studyErr != nil {
+			return
+		}
+		rowDir, studyErr = saveAs(s, false)
+	})
+	if studyErr != nil {
+		t.Fatal(studyErr)
+	}
+	return colDir, rowDir
+}
+
+func saveAs(s *core.Study, columnar bool) (string, error) {
+	dir, err := mkTempDir()
+	if err != nil {
+		return "", err
+	}
+	s.Cfg.Columnar = columnar
+	if err := s.Save(dir); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+var tempSeq int
+
+// mkTempDir allocates corpus directories under a root that outlives any
+// single test, since the saved study is shared package-wide.
+func mkTempDir() (string, error) {
+	tempSeq++
+	return fmt.Sprintf("%s/query-corpus-%d", testTempRoot, tempSeq), nil
+}
+
+var testTempRoot string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "query-test-")
+	if err != nil {
+		panic(err)
+	}
+	testTempRoot = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func newTestService(t *testing.T, dir string, cfg Config) (*Service, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	if cfg.Obs == nil {
+		cfg.Obs = reg
+	} else {
+		reg = cfg.Obs
+	}
+	c, err := OpenCorpus(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewService(c, cfg), reg
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, http.Header, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, rec.Result().Header, body
+}
+
+const scanPath = "/v1/scan?kinds=Read,Write,Create,Close&cols=kind,start,length,proc&min_h=0&max_h=24&limit=50"
+
+// TestQueryDeterministic is the tentpole acceptance test: the same
+// query answers with byte-identical bodies cold, cached, and at every
+// worker count.
+func TestQueryDeterministic(t *testing.T) {
+	dir, _ := corpusDirs(t)
+	paths := []string{
+		scanPath,
+		"/v1/scan?limit=25",
+		"/v1/report?artifact=table2",
+		"/v1/report?artifact=section8",
+		"/v1/machines",
+	}
+	var want map[string][]byte
+	for _, workers := range []int{1, 4, 8} {
+		svc, reg := newTestService(t, dir, Config{Workers: workers})
+		h := svc.Handler()
+		got := map[string][]byte{}
+		for _, p := range paths {
+			code, _, cold := get(t, h, p)
+			if code != http.StatusOK {
+				t.Fatalf("workers=%d %s: status %d: %s", workers, p, code, cold)
+			}
+			code, _, cached := get(t, h, p)
+			if code != http.StatusOK {
+				t.Fatalf("workers=%d %s cached: status %d", workers, p, code)
+			}
+			if !bytes.Equal(cold, cached) {
+				t.Fatalf("workers=%d %s: cached body differs from cold body", workers, p)
+			}
+			got[p] = cold
+		}
+		if hits := counterValue(t, reg, "query_cache_hits_total", ""); hits != uint64(len(paths)) {
+			t.Fatalf("workers=%d: cache hits = %d, want %d", workers, hits, len(paths))
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for _, p := range paths {
+			if !bytes.Equal(want[p], got[p]) {
+				t.Fatalf("%s: body differs between worker counts 1 and %d", p, workers)
+			}
+		}
+	}
+}
+
+// TestRowColumnarEquivalent pins layout independence: the row and
+// columnar saves of one study share a corpus identity and answer scans
+// byte-identically, so cache keys survive a format conversion.
+func TestRowColumnarEquivalent(t *testing.T) {
+	cDir, rDir := corpusDirs(t)
+	cSvc, _ := newTestService(t, cDir, Config{Workers: 4})
+	rSvc, _ := newTestService(t, rDir, Config{Workers: 4})
+	if cSvc.Corpus().SHAHex() != rSvc.Corpus().SHAHex() {
+		t.Fatalf("corpus identity differs by layout: %s vs %s",
+			cSvc.Corpus().SHAHex(), rSvc.Corpus().SHAHex())
+	}
+	for _, m := range cSvc.Corpus().Machines() {
+		if !cSvc.Corpus().Columnar(m) {
+			t.Fatalf("%s: expected a columnar segment in the .fsc save", m)
+		}
+	}
+	for _, m := range rSvc.Corpus().Machines() {
+		if rSvc.Corpus().Columnar(m) {
+			t.Fatalf("%s: expected the row fallback in the .trz save", m)
+		}
+	}
+	for _, p := range []string{scanPath, "/v1/scan?limit=10&kinds=3,5"} {
+		_, _, cBody := get(t, cSvc.Handler(), p)
+		_, _, rBody := get(t, rSvc.Handler(), p)
+		if !bytes.Equal(cBody, rBody) {
+			t.Fatalf("%s: row scan differs from columnar scan\ncol: %s\nrow: %s", p, cBody, rBody)
+		}
+	}
+}
+
+// TestCanonicalization pins that equivalent request spellings share one
+// cache entry.
+func TestCanonicalization(t *testing.T) {
+	dir, _ := corpusDirs(t)
+	svc, _ := newTestService(t, dir, Config{})
+	c := svc.Corpus()
+	cases := [][2]string{
+		{"kinds=Read,Write", "kinds=Write,read"},
+		{"kinds=Read", fmt.Sprintf("kinds=%d", kindNumber(t, "Read"))},
+		{"min_h=1", fmt.Sprintf("min=%d", int64(sim.Hour))},
+		{"cols=kind,start", ""},
+	}
+	for _, tc := range cases {
+		a, err := parseScanQuery(c, parseVals(t, tc[0]))
+		if err != nil {
+			t.Fatalf("%s: %v", tc[0], err)
+		}
+		b, err := parseScanQuery(c, parseVals(t, tc[1]))
+		if err != nil {
+			t.Fatalf("%s: %v", tc[1], err)
+		}
+		if a.canonical() != b.canonical() {
+			t.Errorf("%q and %q canonicalize differently:\n%s\n%s", tc[0], tc[1], a.canonical(), b.canonical())
+		}
+	}
+	a, _ := parseScanQuery(c, parseVals(t, "kinds=Read"))
+	b, _ := parseScanQuery(c, parseVals(t, "kinds=Write"))
+	if a.canonical() == b.canonical() {
+		t.Error("different queries share a canonical form")
+	}
+}
+
+func parseVals(t *testing.T, query string) url.Values {
+	t.Helper()
+	v, err := url.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func kindNumber(t *testing.T, name string) int {
+	t.Helper()
+	kinds, err := ParseKinds(name)
+	if err != nil || len(kinds) != 1 {
+		t.Fatalf("ParseKinds(%q) = %v, %v", name, kinds, err)
+	}
+	return int(kinds[0])
+}
+
+// TestBackpressure429 saturates the admission pool and checks the
+// refusal path: over-limit requests get 429 + Retry-After immediately,
+// admitted requests complete once capacity frees up.
+func TestBackpressure429(t *testing.T) {
+	dir, _ := corpusDirs(t)
+	svc, reg := newTestService(t, dir, Config{MaxInflight: 1, MaxQueue: 1, Timeout: 10 * time.Second})
+	h := svc.Handler()
+
+	// Occupy the only execution slot so admitted requests queue.
+	svc.slots <- struct{}{}
+
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			code, _, _ := get(t, h, "/v1/machines")
+			results <- code
+		}()
+	}
+	// Wait until both are admitted (pending == MaxInflight+MaxQueue).
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.pending.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admitted requests never queued; pending=%d", svc.pending.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, hdr, _ := get(t, h, "/v1/machines")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit request: status %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	if got := counterValue(t, reg, "query_rejected_total", ""); got != 1 {
+		t.Fatalf("query_rejected_total = %d, want 1", got)
+	}
+
+	// Free the slot; both queued requests must now complete with 200.
+	<-svc.slots
+	for i := 0; i < 2; i++ {
+		select {
+		case code := <-results:
+			if code != http.StatusOK {
+				t.Fatalf("queued request finished with %d", code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued request never completed after the slot freed")
+		}
+	}
+}
+
+// TestRequestTimeout pins the deadline path: a request that cannot get
+// an execution slot within its deadline answers 504.
+func TestRequestTimeout(t *testing.T) {
+	dir, _ := corpusDirs(t)
+	svc, reg := newTestService(t, dir, Config{MaxInflight: 1, MaxQueue: 4, Timeout: 50 * time.Millisecond})
+	svc.slots <- struct{}{} // wedge the pool
+	start := time.Now()
+	code, _, _ := get(t, svc.Handler(), "/v1/machines")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", code)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("timed out after %s, want ~50ms", elapsed)
+	}
+	if got := counterValue(t, reg, "query_timeouts_total", ""); got != 1 {
+		t.Fatalf("query_timeouts_total = %d, want 1", got)
+	}
+}
+
+// TestDrain pins graceful shutdown: Drain waits for admitted work and
+// flips subsequent requests to 503.
+func TestDrain(t *testing.T) {
+	dir, _ := corpusDirs(t)
+	svc, _ := newTestService(t, dir, Config{})
+	h := svc.Handler()
+	if code, _, _ := get(t, h, "/v1/machines"); code != http.StatusOK {
+		t.Fatalf("pre-drain request: %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code, _, _ := get(t, h, "/v1/machines"); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: %d, want 503", code)
+	}
+	if code, _, _ := get(t, h, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain healthz: %d, want 503", code)
+	}
+}
+
+// TestCacheLRU unit-tests the sharded cache: eviction respects the byte
+// bound and least-recently-used order.
+func TestCacheLRU(t *testing.T) {
+	cache := NewCache(16*64, nil) // 64 bytes per shard
+	key := func(b byte, n int) cacheKey {
+		var k cacheKey
+		k[0] = b // pin the shard
+		k[1] = byte(n)
+		return k
+	}
+	body := bytes.Repeat([]byte("x"), 30)
+	cache.Put(key(0, 1), body)
+	cache.Put(key(0, 2), body)
+	if _, ok := cache.Get(key(0, 1)); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	// Entry 1 is now most-recent; inserting a third evicts entry 2.
+	cache.Put(key(0, 3), body)
+	if _, ok := cache.Get(key(0, 2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := cache.Get(key(0, 1)); !ok {
+		t.Fatal("recently-used entry was evicted")
+	}
+	// Oversized bodies are refused, not thrashed in.
+	cache.Put(key(0, 4), bytes.Repeat([]byte("y"), 65))
+	if _, ok := cache.Get(key(0, 4)); ok {
+		t.Fatal("oversized body was cached")
+	}
+	if n := cache.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+// TestScanLimit pins the truncation contract: matched counts the full
+// predicate hits, returned counts the projected rows.
+func TestScanLimit(t *testing.T) {
+	dir, _ := corpusDirs(t)
+	svc, _ := newTestService(t, dir, Config{})
+	_, _, full := get(t, svc.Handler(), "/v1/scan?cols=kind")
+	_, _, limited := get(t, svc.Handler(), "/v1/scan?cols=kind&limit=5")
+	var fb, lb scanBody
+	if err := json.Unmarshal(full, &fb); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(limited, &lb); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Matched != lb.Matched {
+		t.Fatalf("limit changed matched: %d vs %d", fb.Matched, lb.Matched)
+	}
+	if fb.Matched == 0 {
+		t.Fatal("test corpus matched no rows")
+	}
+	if fb.Returned != fb.Matched {
+		t.Fatalf("unlimited scan returned %d of %d", fb.Returned, fb.Matched)
+	}
+	for _, m := range lb.Machines {
+		if len(m.Kinds) > 5 {
+			t.Fatalf("%s: limit ignored, %d rows", m.Name, len(m.Kinds))
+		}
+		if m.Matched > 5 && !m.Truncated {
+			t.Fatalf("%s: truncation not flagged", m.Name)
+		}
+	}
+}
+
+// TestLoadGenerator drives the built-in load mode at a deliberately
+// tiny admission pool and checks both outcomes appear: successes and
+// 429 rejections, with no transport errors.
+func TestLoadGenerator(t *testing.T) {
+	dir, _ := corpusDirs(t)
+	svc, _ := newTestService(t, dir, Config{MaxInflight: 1, MaxQueue: 1, Workers: 2})
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	stats := RunLoad(context.Background(), ts.URL, svc.Corpus().Machines(), LoadConfig{
+		Clients:  8,
+		Requests: 30,
+		Seed:     3,
+	})
+	if stats.Sent != 8*30 {
+		t.Fatalf("sent %d, want %d", stats.Sent, 8*30)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("load run saw %d transport/status errors", stats.Errors)
+	}
+	if stats.OK == 0 {
+		t.Fatal("load run never succeeded")
+	}
+	if stats.Rejected == 0 {
+		t.Fatal("load run at MaxInflight=1 never tripped the 429 path")
+	}
+}
+
+// counterValue reads one counter family value from the registry render.
+func counterValue(t *testing.T, reg *obs.Registry, name, label string) uint64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		s := string(line)
+		if !hasMetric(s, name) {
+			continue
+		}
+		if label != "" && !contains(s, label) {
+			continue
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(s[lastSpace(s)+1:], "%d", &v); err == nil {
+			total += v
+		}
+	}
+	return total
+}
+
+func hasMetric(line, name string) bool {
+	return len(line) > len(name) && line[:len(name)] == name &&
+		(line[len(name)] == ' ' || line[len(name)] == '{')
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+func lastSpace(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ' ' {
+			return i
+		}
+	}
+	return -1
+}
