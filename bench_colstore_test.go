@@ -2,12 +2,16 @@ package repro
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/collect"
 	"repro/internal/colstore"
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/tracefmt"
 )
@@ -193,4 +197,114 @@ func BenchmarkColumnarScan(b *testing.B) {
 		}
 		b.ReportMetric(float64(rows), "records")
 	})
+}
+
+// compute fixture: the scan-optimized (NoCompress) layout — dictionary,
+// varint and delta encodings without the per-column DEFLATE wrapper.
+// This is the layout a scan-bound deployment chooses: block decodes are
+// allocation-free and skip the Huffman work entirely, trading encoded
+// size (reported as corpus_KB) for scan throughput.
+var (
+	colSegsScanOnce  sync.Once
+	colSegsScanBytes map[string][]byte
+	colSegsScanTotal int64
+)
+
+func columnarSegmentsScanOptimized(b *testing.B) (map[string][]byte, int64) {
+	b.Helper()
+	recs := fleetRecords(b)
+	colSegsScanOnce.Do(func() {
+		colSegsScanBytes = map[string][]byte{}
+		for m, r := range recs {
+			data, _, err := colstore.EncodeSegment(r, colstore.Options{BlockRecords: benchBlockRecords, NoCompress: true})
+			if err != nil {
+				panic(err)
+			}
+			colSegsScanBytes[m] = data
+			colSegsScanTotal += int64(len(data))
+		}
+	})
+	return colSegsScanBytes, colSegsScanTotal
+}
+
+// BenchmarkColumnarCompute measures the vectorized compute path: open
+// segments once, then per iteration batch-scan the numeric columns into
+// fresh columnar traces and fold every figure's kernel straight off the
+// column vectors — no row materialization anywhere. The segments use
+// the scan-optimized (NoCompress) layout; corpus_KB reports what that
+// trade costs on disk. The row pipeline the path replaces (DEFLATE
+// decode into sorted records + record-slice kernels) is timed once per
+// worker count and attached as row_pipeline_ms, so speedup_vs_row
+// tracks the acceptance bound in BENCH_analysis. The decode ledger
+// rides along: the numeric kernel scans never inflate the name column
+// (only the per-machine name-map scan touches it), and steady-state
+// scans run from the warm scratch pool.
+func BenchmarkColumnarCompute(b *testing.B) {
+	raw, total := columnarSegmentsScanOptimized(b)
+	s := fleetCorpus(b)
+	base, err := s.DataSetWorkers(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Row-pipeline baseline: corpus decode plus compute, at the same
+	// worker count, timed once (the benchmark loop below must not pay
+	// for it).
+	rowMS := map[int]float64{}
+	for _, workers := range []int{1, 4, 8} {
+		start := time.Now()
+		ds, err := s.DataSetWorkers(workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report.ComputeWorkers(ds, workers)
+		rowMS[workers] = float64(time.Since(start).Microseconds()) / 1e3
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			reg := obs.NewRegistry()
+			m := colstore.NewMetrics(reg)
+			segs := make([]*colstore.Segment, len(base.Machines))
+			for i, mt := range base.Machines {
+				seg, err := colstore.OpenSegment(raw[mt.Name], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				segs[i] = seg
+			}
+			var instances int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds := &analysis.DataSet{}
+				for j, mt := range base.Machines {
+					fresh, err := analysis.NewMachineTraceColumnar(mt.Name, mt.Category, segs[j])
+					if err != nil {
+						b.Fatal(err)
+					}
+					fresh.ProcNames = mt.ProcNames
+					ds.Machines = append(ds.Machines, fresh)
+				}
+				r := report.ComputeWorkers(ds, workers)
+				instances = len(r.All)
+			}
+			b.StopTimer()
+			iters := float64(b.N)
+			colMS := float64(b.Elapsed().Microseconds()) / 1e3 / iters
+			b.ReportMetric(float64(instances), "instances")
+			b.ReportMetric(colMS, "columnar_ms")
+			b.ReportMetric(rowMS[workers], "row_pipeline_ms")
+			if colMS > 0 {
+				b.ReportMetric(rowMS[workers]/colMS, "speedup_vs_row")
+			}
+			b.ReportMetric(float64(m.TotalBytesDecoded())/iters/1024, "decoded_KB")
+			// The name family is touched only by the per-machine name-map
+			// scan (EvNameMap-predicated); the numeric kernel scans never
+			// inflate it.
+			b.ReportMetric(float64(m.BytesDecoded(colstore.FamilyName))/iters/1024, "name_decoded_KB")
+			b.ReportMetric(float64(total)/1024, "corpus_KB")
+			b.ReportMetric(float64(m.BatchesReused.Value())/iters, "batches_reused")
+		})
+	}
 }

@@ -1,76 +1,187 @@
 package analysis
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/colstore"
 	"repro/internal/ntos/machine"
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
 	"repro/internal/tracefmt"
 )
 
-// NewMachineTraceColumnar builds a MachineTrace from a columnar segment,
-// pushing the index construction down to the store: the kind and start
-// columns are scanned first (two narrow columns, no names or I/O
-// geometry), the stable by-start permutation is computed from them, and
-// the MachineIndex — the structure every Select-driven figure queries —
-// is seeded from the permuted kind column. The full records are then
-// materialized once and placed directly in sorted position, which is
-// exactly the order NewMachineTraceOwned's sort.SliceStable produces on
-// a row decode, so the two paths yield identical traces.
+// streamBatchPool recycles the stream-order accumulation batch across
+// machine constructions: the scan fills it, the sorted copy is carved
+// out exactly sized, and the (machine-sized) scratch goes back to the
+// pool instead of the garbage collector.
+var streamBatchPool = sync.Pool{New: func() any { return &colstore.Batch{} }}
+
+// NewMachineTraceColumnar builds a MachineTrace directly from a columnar
+// segment without materializing rows: every numeric column is scanned
+// into a pooled stream-order batch (the 64-byte name blobs stay
+// encoded), the stable by-start permutation is computed from the start
+// column, and each column vector is gathered into an exactly-sized
+// sorted copy. The compute kernels then fold these vectors straight
+// into the paper's measures; whole records are only decoded if a
+// consumer explicitly asks via Rows().
+//
+// The permuted order is exactly what NewMachineTraceOwned's
+// sort.SliceStable produces on a row decode, so both paths yield
+// identical indexes, instance tables and figures.
 func NewMachineTraceColumnar(name string, cat machine.Category, seg *colstore.Segment) (*MachineTrace, error) {
-	batch, err := seg.ScanColumns(colstore.Predicate{}, colstore.ScanKind|colstore.ScanStart)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: %s: %w", name, err)
+	sb := streamBatchPool.Get().(*colstore.Batch)
+	sb.Reset()
+	it := seg.Batches(colstore.Predicate{}, colstore.ScanAllNumeric)
+	for {
+		ok, err := it.Next(sb)
+		if err != nil {
+			it.Close()
+			streamBatchPool.Put(sb)
+			return nil, fmt.Errorf("analysis: %s: %w", name, err)
+		}
+		if !ok {
+			break
+		}
 	}
-	n := batch.N
 
 	// Stable argsort by start time. Trace buffers from different volumes
 	// interleave at flush granularity, so the stream is near-sorted and
-	// the permutation is near-identity; stability preserves flush order
+	// the permutation near-identity; stability preserves flush order
 	// among equal timestamps, matching the row path's SliceStable.
-	perm := make([]int32, n)
-	for i := range perm {
-		perm[i] = int32(i)
+	var perm []int32
+	if !startsSorted(sb.Starts) {
+		perm = make([]int32, sb.N)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sort.SliceStable(perm, func(a, b int) bool { return sb.Starts[perm[a]] < sb.Starts[perm[b]] })
 	}
-	sort.SliceStable(perm, func(a, b int) bool { return batch.Starts[perm[a]] < batch.Starts[perm[b]] })
+	tab := permutedBatch(sb, perm)
+	streamBatchPool.Put(sb)
 
-	recs, err := seg.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("analysis: %s: %w", name, err)
+	return &MachineTrace{
+		Name:     name,
+		Category: cat,
+		tab:      tab,
+		seg:      seg,
+		perm:     perm,
+	}, nil
+}
+
+// startsSorted reports whether the start column is already non-decreasing
+// (the common case: a single-volume machine flushes in order).
+func startsSorted(starts []sim.Time) bool {
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			return false
+		}
 	}
-	sorted := make([]tracefmt.Record, n)
+	return true
+}
+
+// permute builds the reordered (perm non-nil) or verbatim (perm nil)
+// exactly-sized copy of one column vector; nil in, nil out so
+// unprojected columns pass through. Sequential writes with near-identity
+// reads keep the pass prefetch-friendly on the near-sorted streams the
+// trace buffers produce.
+func permute[T any](src []T, perm []int32) []T {
+	if src == nil {
+		return nil
+	}
+	out := make([]T, len(src))
+	if perm == nil {
+		copy(out, src)
+		return out
+	}
 	for i, p := range perm {
-		sorted[i] = recs[p]
+		out[i] = src[p]
 	}
-	mt := &MachineTrace{Name: name, Category: cat, Records: sorted}
+	return out
+}
 
-	// Seed the inverted index from the narrow columns so the usual
-	// full-record indexing pass never runs for columnar corpora.
-	mt.idxOnce.Do(func() {
-		ix := &MachineIndex{mt: mt}
-		var counts [tracefmt.NumEventKinds]int32
-		for _, k := range batch.Kinds {
-			if int(k) < tracefmt.NumEventKinds {
-				counts[k]++
-			}
+// permutedBatch builds the by-start sorted, exactly-sized copy of every
+// projected column of b (perm nil = already sorted, plain copy).
+func permutedBatch(b *colstore.Batch, perm []int32) *colstore.Batch {
+	return &colstore.Batch{
+		N:             b.N,
+		Kinds:         permute(b.Kinds, perm),
+		Starts:        permute(b.Starts, perm),
+		Ends:          permute(b.Ends, perm),
+		Offsets:       permute(b.Offsets, perm),
+		Lengths:       permute(b.Lengths, perm),
+		Returns:       permute(b.Returns, perm),
+		FileSizes:     permute(b.FileSizes, perm),
+		Procs:         permute(b.Procs, perm),
+		FileIDs:       permute(b.FileIDs, perm),
+		Statuses:      permute(b.Statuses, perm),
+		Flags:         permute(b.Flags, perm),
+		Annots:        permute(b.Annots, perm),
+		FOFls:         permute(b.FOFls, perm),
+		BytePositions: permute(b.BytePositions, perm),
+		Dispositions:  permute(b.Dispositions, perm),
+		Options:       permute(b.Options, perm),
+		Attributes:    permute(b.Attributes, perm),
+		FsControls:    permute(b.FsControls, perm),
+	}
+}
+
+// namesColumnar builds the id → path map from a name-column pushdown
+// scan that decodes nothing but the name blobs of EvNameMap-bearing
+// blocks: the file ids, the by-start insertion order and the stream
+// positions of the name records are all already in the sorted table, so
+// only the blob ↔ table-row correspondence has to be reconstructed.
+// Insertion follows by-start order with stable ties, reproducing the
+// row path's later-record-wins semantics.
+func namesColumnar(mt *MachineTrace) map[types.FileObjectID]string {
+	t := mt.tab
+	// Table rows of the name records, ascending = by-start stable order.
+	var rows []int32
+	for i, k := range t.Kinds {
+		if k == tracefmt.EvNameMap {
+			rows = append(rows, int32(i))
 		}
-		for k, c := range counts {
-			if c > 0 {
-				ix.kinds[k] = make([]int32, 0, c)
-			}
+	}
+	names := make(map[types.FileObjectID]string, len(rows))
+	if len(rows) == 0 {
+		return names
+	}
+	nb, err := mt.seg.ScanColumns(colstore.Predicate{
+		Kinds: []tracefmt.EventKind{tracefmt.EvNameMap},
+	}, colstore.ScanName)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: scanning names of columnar trace %s: %v", mt.Name, err))
+	}
+	if nb.N != len(rows) {
+		panic(fmt.Sprintf("analysis: columnar trace %s: %d name blobs for %d name records", mt.Name, nb.N, len(rows)))
+	}
+	// Blob k is the k-th name record in stream order; table row rows[j]
+	// came from stream position perm[rows[j]] (identity when perm is
+	// nil, i.e. blob j belongs to rows[j] directly). Ranking the rows by
+	// stream position recovers each row's blob index.
+	blob := make([]int32, len(rows))
+	if mt.perm == nil {
+		for j := range rows {
+			blob[j] = int32(j)
 		}
-		for i, p := range perm {
-			k := batch.Kinds[p]
-			if int(k) >= tracefmt.NumEventKinds {
-				continue
-			}
-			ix.kinds[k] = append(ix.kinds[k], int32(i))
-			if k == tracefmt.EvCreate || k == tracefmt.EvCreateFailed {
-				ix.openTimes = append(ix.openTimes, batch.Starts[p])
-			}
+	} else {
+		ord := make([]int32, len(rows))
+		for j := range ord {
+			ord[j] = int32(j)
 		}
-		mt.idx = ix
-	})
-	return mt, nil
+		sort.Slice(ord, func(a, b int) bool { return mt.perm[rows[ord[a]]] < mt.perm[rows[ord[b]]] })
+		for k, j := range ord {
+			blob[j] = int32(k)
+		}
+	}
+	for j, row := range rows {
+		b := nb.Names[int(blob[j])*tracefmt.NameLen : (int(blob[j])+1)*tracefmt.NameLen]
+		if k := bytes.IndexByte(b, 0); k >= 0 {
+			b = b[:k]
+		}
+		names[t.FileIDs[row]] = string(b)
+	}
+	return names
 }

@@ -41,11 +41,12 @@ func TestColumnarTraceEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if len(col.Records) != len(row.Records) {
-		t.Fatalf("columnar trace has %d records, row %d", len(col.Records), len(row.Records))
+	colRows := col.Rows()
+	if len(colRows) != len(row.Records) {
+		t.Fatalf("columnar trace has %d records, row %d", len(colRows), len(row.Records))
 	}
 	for i := range row.Records {
-		if col.Records[i] != row.Records[i] {
+		if colRows[i] != row.Records[i] {
 			t.Fatalf("record %d differs after sorting (stability broken?)", i)
 		}
 	}
@@ -69,6 +70,55 @@ func TestColumnarTraceEquivalence(t *testing.T) {
 	for i := range ro {
 		if ro[i] != co[i] {
 			t.Fatalf("open time %d differs", i)
+		}
+	}
+}
+
+// TestColumnarKernelHotPathAllocs pins the steady-state allocation
+// behaviour of the vectorized kernel hot paths: once the trace's lazy
+// views are warm, a kernel pass over the column vectors allocates only
+// the small constant the index merge costs — nothing per record. A
+// per-record allocation on this 15,000-record fixture would blow the
+// bound by three orders of magnitude.
+func TestColumnarKernelHotPathAllocs(t *testing.T) {
+	rng := sim.NewRNG(41)
+	kinds := []tracefmt.EventKind{
+		tracefmt.EvRead, tracefmt.EvWrite, tracefmt.EvFastRead,
+		tracefmt.EvFastWrite, tracefmt.EvCreate, tracefmt.EvClose,
+	}
+	recs := make([]tracefmt.Record, 15000)
+	for i := range recs {
+		recs[i].Kind = kinds[rng.Int63n(int64(len(kinds)))]
+		recs[i].Start = sim.Time(rng.Int63n(1e9))
+		recs[i].End = recs[i].Start + sim.Time(rng.Int63n(1e6))
+		recs[i].FileID = types.FileObjectID(1 + i%53)
+		recs[i].Length = int32(rng.Int63n(1 << 16))
+	}
+	data, _, err := colstore.EncodeSegment(recs, colstore.Options{BlockRecords: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := colstore.OpenSegment(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := NewMachineTraceColumnar("m", machine.Personal, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt.Index() // warm the lazy per-kind index
+
+	passes := map[string]func(){
+		"fastio-shares": func() { fastIOSharesColumnar(mt) },
+		"controls-records": func() {
+			var c ControlStats
+			controlsRecordsColumnar(mt, &c)
+		},
+	}
+	for name, pass := range passes {
+		pass() // warm
+		if avg := testing.AllocsPerRun(20, pass); avg > 8 {
+			t.Errorf("%s: %.1f allocs per pass, want the index-merge constant (<= 8)", name, avg)
 		}
 	}
 }

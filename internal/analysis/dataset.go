@@ -15,12 +15,15 @@
 package analysis
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/colstore"
 	"repro/internal/ntos/machine"
 	"repro/internal/ntos/types"
+	"repro/internal/sim"
 	"repro/internal/tracefmt"
 )
 
@@ -31,9 +34,22 @@ type MachineTrace struct {
 	// Records is the trace stream sorted by start timestamp. The slice is
 	// owned by the MachineTrace; mutating it after construction
 	// invalidates the lazily derived views below.
+	//
+	// Columnar-backed traces (NewMachineTraceColumnar) leave Records nil
+	// until a consumer actually needs rows: read it through Rows(), which
+	// materializes on first use. The compute kernels never do — they fold
+	// the column vectors in tab directly.
 	Records []tracefmt.Record
 	// ProcNames maps pid → image name (the process dimension). Optional.
 	ProcNames map[uint32]string
+
+	// Columnar backing (nil on row-decoded traces): tab holds every
+	// numeric column in by-start sorted order, seg the segment it was
+	// scanned from, and perm the stable by-start permutation from stream
+	// order (nil when the stream was already sorted).
+	tab  *colstore.Batch
+	seg  *colstore.Segment
+	perm []int32
 
 	// Lazily derived, sync.Once-guarded state. Safe for concurrent use:
 	// after the Once completes the views are immutable.
@@ -43,6 +59,7 @@ type MachineTrace struct {
 	ins       []*Instance
 	idxOnce   sync.Once
 	idx       *MachineIndex
+	rowsOnce  sync.Once
 }
 
 // DataSet is the full study corpus.
@@ -78,10 +95,85 @@ func NewMachineTraceOwned(name string, cat machine.Category, recs []tracefmt.Rec
 	}
 }
 
+// Len is the number of records in the trace, available without
+// materializing rows on columnar-backed traces.
+func (mt *MachineTrace) Len() int {
+	if mt.tab != nil {
+		return mt.tab.N
+	}
+	return len(mt.Records)
+}
+
+// FirstStart returns the earliest record timestamp (0 on empty traces).
+func (mt *MachineTrace) FirstStart() sim.Time {
+	if mt.tab != nil {
+		if mt.tab.N == 0 {
+			return 0
+		}
+		return mt.tab.Starts[0]
+	}
+	if len(mt.Records) == 0 {
+		return 0
+	}
+	return mt.Records[0].Start
+}
+
+// LastStart returns the latest record timestamp (0 on empty traces).
+func (mt *MachineTrace) LastStart() sim.Time {
+	if mt.tab != nil {
+		if mt.tab.N == 0 {
+			return 0
+		}
+		return mt.tab.Starts[mt.tab.N-1]
+	}
+	if len(mt.Records) == 0 {
+		return 0
+	}
+	return mt.Records[len(mt.Records)-1].Start
+}
+
+// Rows returns the trace as materialized records in by-start order. On
+// row-decoded traces this is Records itself. On columnar-backed traces
+// the rows are decoded from the segment on first use and cached — the
+// compute kernels never take this path, but replay, synthesis and the
+// cache simulator consume whole structured rows and pay the one-time
+// materialization here.
+//
+// Every block CRC was already verified by the construction-time column
+// scan, so a decode failure here means the segment mutated underneath
+// us; that invariant violation panics rather than returning partial
+// rows.
+func (mt *MachineTrace) Rows() []tracefmt.Record {
+	if mt.seg == nil {
+		return mt.Records
+	}
+	mt.rowsOnce.Do(func() {
+		recs, err := mt.seg.ReadAll()
+		if err != nil {
+			panic(fmt.Sprintf("analysis: materializing columnar trace %s: %v", mt.Name, err))
+		}
+		if mt.perm != nil {
+			sorted := make([]tracefmt.Record, len(recs))
+			for i, p := range mt.perm {
+				sorted[i] = recs[p]
+			}
+			recs = sorted
+		}
+		mt.Records = recs
+	})
+	return mt.Records
+}
+
 // Names maps file-object ids to paths, indexed from EvNameMap records on
 // first use. The returned map is shared and must not be mutated.
+// Columnar-backed traces build it from a name-column pushdown scan that
+// touches no other payloads.
 func (mt *MachineTrace) Names() map[types.FileObjectID]string {
 	mt.namesOnce.Do(func() {
+		if mt.tab != nil {
+			mt.names = namesColumnar(mt)
+			return
+		}
 		names := make(map[types.FileObjectID]string)
 		for i := range mt.Records {
 			if mt.Records[i].Kind == tracefmt.EvNameMap {

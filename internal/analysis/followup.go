@@ -34,14 +34,26 @@ func PagingBursts(mt *MachineTrace) PagingBurst {
 		tracefmt.EvPagingRead, tracefmt.EvPagingWrite,
 		tracefmt.EvReadAhead, tracefmt.EvLazyWrite)
 	times = make([]sim.Time, 0, len(sel))
-	for _, i := range sel {
-		r := &mt.Records[i]
-		times = append(times, r.Start)
-		switch r.Kind {
-		case tracefmt.EvLazyWrite:
-			lazy++
-		case tracefmt.EvReadAhead:
-			ra++
+	if t := mt.tab; t != nil {
+		for _, i := range sel {
+			times = append(times, t.Starts[i])
+			switch t.Kinds[i] {
+			case tracefmt.EvLazyWrite:
+				lazy++
+			case tracefmt.EvReadAhead:
+				ra++
+			}
+		}
+	} else {
+		for _, i := range sel {
+			r := &mt.Records[i]
+			times = append(times, r.Start)
+			switch r.Kind {
+			case tracefmt.EvLazyWrite:
+				lazy++
+			case tracefmt.EvReadAhead:
+				ra++
+			}
 		}
 	}
 	pb := PagingBurst{Requests: len(times)}
@@ -69,6 +81,9 @@ func PagingBursts(mt *MachineTrace) PagingBurst {
 // follow-up. Only disk-bound reads are compared (cache hits cost the same
 // either way).
 func CompressedReads(mt *MachineTrace) (compressed, plain []float64) {
+	if mt.tab != nil {
+		return compressedReadsColumnar(mt)
+	}
 	for _, i := range mt.Index().OfKind(tracefmt.EvRead) {
 		r := &mt.Records[i]
 		if r.Status.IsError() {
@@ -102,14 +117,18 @@ type DirOpStats struct {
 func DirectoryThroughput(mt *MachineTrace) DirOpStats {
 	var lats, entries []float64
 	var times []sim.Time
-	for _, i := range mt.Index().OfKind(tracefmt.EvQueryDirectory) {
-		r := &mt.Records[i]
-		if r.Status.IsError() {
-			continue
+	if mt.tab != nil {
+		lats, entries, times = dirSamplesColumnar(mt)
+	} else {
+		for _, i := range mt.Index().OfKind(tracefmt.EvQueryDirectory) {
+			r := &mt.Records[i]
+			if r.Status.IsError() {
+				continue
+			}
+			lats = append(lats, r.Latency().Microseconds())
+			entries = append(entries, float64(r.Returned))
+			times = append(times, r.Start)
 		}
-		lats = append(lats, r.Latency().Microseconds())
-		entries = append(entries, float64(r.Returned))
-		times = append(times, r.Start)
 	}
 	ds := DirOpStats{Queries: len(lats)}
 	if len(lats) == 0 {

@@ -30,30 +30,42 @@ type MachineIndex struct {
 }
 
 // Index returns the machine's inverted index, building it on first use.
+// Columnar-backed traces index straight off the kind and start vectors —
+// two narrow columns, no row materialization.
 func (mt *MachineTrace) Index() *MachineIndex {
 	mt.idxOnce.Do(func() {
 		ix := &MachineIndex{mt: mt}
+		var kindAt func(i int) tracefmt.EventKind
+		var startAt func(i int) sim.Time
+		n := mt.Len()
+		if mt.tab != nil {
+			kindAt = func(i int) tracefmt.EventKind { return mt.tab.Kinds[i] }
+			startAt = func(i int) sim.Time { return mt.tab.Starts[i] }
+		} else {
+			kindAt = func(i int) tracefmt.EventKind { return mt.Records[i].Kind }
+			startAt = func(i int) sim.Time { return mt.Records[i].Start }
+		}
 		// Size the per-kind lists in one counting pass so the big kinds
 		// (reads, writes) allocate exactly once.
 		var counts [tracefmt.NumEventKinds]int32
-		for i := range mt.Records {
-			if k := mt.Records[i].Kind; int(k) < tracefmt.NumEventKinds {
+		for i := 0; i < n; i++ {
+			if k := kindAt(i); int(k) < tracefmt.NumEventKinds {
 				counts[k]++
 			}
 		}
-		for k, n := range counts {
-			if n > 0 {
-				ix.kinds[k] = make([]int32, 0, n)
+		for k, c := range counts {
+			if c > 0 {
+				ix.kinds[k] = make([]int32, 0, c)
 			}
 		}
-		for i := range mt.Records {
-			k := mt.Records[i].Kind
+		for i := 0; i < n; i++ {
+			k := kindAt(i)
 			if int(k) >= tracefmt.NumEventKinds {
 				continue
 			}
 			ix.kinds[k] = append(ix.kinds[k], int32(i))
 			if k == tracefmt.EvCreate || k == tracefmt.EvCreateFailed {
-				ix.openTimes = append(ix.openTimes, mt.Records[i].Start)
+				ix.openTimes = append(ix.openTimes, startAt(i))
 			}
 		}
 		mt.idx = ix
@@ -112,8 +124,9 @@ func (ix *MachineIndex) Select(kinds ...tracefmt.EventKind) []int32 {
 // ascending. The slice is shared — callers must not mutate it.
 func (ix *MachineIndex) OpenTimes() []sim.Time { return ix.openTimes }
 
-// Records gives index consumers the underlying sorted stream back.
-func (ix *MachineIndex) Records() []tracefmt.Record { return ix.mt.Records }
+// Records gives index consumers the underlying sorted stream back,
+// materializing rows on columnar-backed traces.
+func (ix *MachineIndex) Records() []tracefmt.Record { return ix.mt.Rows() }
 
 // Index is the corpus-level query surface: every machine's inverted
 // index, built in parallel on first use and cached on the DataSet.

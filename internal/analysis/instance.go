@@ -148,6 +148,9 @@ func BuildInstances(mt *MachineTrace) []*Instance {
 	if BuildInstancesHook != nil {
 		BuildInstancesHook(mt.Name)
 	}
+	if mt.tab != nil {
+		return buildInstancesColumnar(mt)
+	}
 	var out []*Instance
 	open := map[types.FileObjectID]*Instance{}
 

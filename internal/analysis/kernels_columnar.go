@@ -1,0 +1,471 @@
+package analysis
+
+import (
+	"repro/internal/colstore"
+	"repro/internal/ntos/types"
+	"repro/internal/sim"
+	"repro/internal/tracefmt"
+)
+
+// This file holds the vectorized twins of the analysis kernels: each
+// folds the columnar Batch vectors of a segment-backed MachineTrace
+// straight into the paper's measures, touching only the columns a figure
+// needs and never materializing tracefmt.Record rows. Index positions
+// are positions in the by-start-sorted column vectors — the same
+// positions the row kernels use — so each twin is a field-for-field
+// transliteration of its row counterpart and TestColumnarComputeByte-
+// Identical holds them equal.
+
+// isDataTransferCol is IsDataTransfer over column values.
+func isDataTransferCol(k tracefmt.EventKind, annot uint8, status types.Status) bool {
+	switch k {
+	case tracefmt.EvRead, tracefmt.EvWrite, tracefmt.EvFastRead, tracefmt.EvFastWrite,
+		tracefmt.EvFastMdlRead, tracefmt.EvFastMdlWrite:
+		return annot&tracefmt.AnnotFastRefused == 0 && !status.IsError()
+	}
+	return false
+}
+
+// buildInstancesColumnar is BuildInstances over the column vectors.
+func buildInstancesColumnar(mt *MachineTrace) []*Instance {
+	t := mt.tab
+	var out []*Instance
+	open := map[types.FileObjectID]*Instance{}
+
+	finalize := func(in *Instance) {
+		in.finishRuns()
+		in.classify()
+		out = append(out, in)
+	}
+
+	for i := 0; i < t.N; i++ {
+		id := t.FileIDs[i]
+		if id == 0 || id >= tracefmt.PagingObjectIDBase {
+			continue
+		}
+		k := t.Kinds[i]
+		switch k {
+		case tracefmt.EvNameMap:
+			continue
+		case tracefmt.EvCreate, tracefmt.EvCreateFailed:
+			in := &Instance{
+				Machine:     mt.Name,
+				Category:    mt.Category,
+				Remote:      t.Annots[i]&tracefmt.AnnotRemote != 0,
+				FileID:      id,
+				Path:        mt.PathOf(id),
+				Process:     t.Procs[i],
+				OpenTime:    t.Starts[i],
+				Disposition: t.Dispositions[i],
+				Options:     t.Options[i],
+				Attributes:  t.Attributes[i],
+				FOFlags:     t.FOFls[i],
+				SizeAtOpen:  t.FileSizes[i],
+				SizeAtClose: t.FileSizes[i],
+			}
+			in.Ext = ExtOf(in.Path)
+			if k == tracefmt.EvCreateFailed {
+				in.Failed = true
+				in.FailStatus = t.Statuses[i]
+				in.CleanupTime = t.Ends[i]
+				in.CloseTime = t.Ends[i]
+				finalize(in)
+				continue
+			}
+			open[id] = in
+		default:
+			in := open[id]
+			if in == nil {
+				continue
+			}
+			absorbColumnar(in, t, i, k)
+			if k == tracefmt.EvClose {
+				delete(open, id)
+				finalize(in)
+			}
+		}
+	}
+	for _, in := range open {
+		finalize(in)
+	}
+	sortInstances(out)
+	return out
+}
+
+// absorbColumnar is Instance.absorb reading row i of the column vectors.
+func absorbColumnar(in *Instance, t *colstore.Batch, i int, k tracefmt.EventKind) {
+	switch k {
+	case tracefmt.EvPagingRead:
+		if t.Statuses[i].IsError() {
+			return
+		}
+		in.noteRead(t.Offsets[i], int64(t.Lengths[i]))
+		in.IrpReads++
+	case tracefmt.EvRead, tracefmt.EvFastRead, tracefmt.EvFastMdlRead:
+		if t.Annots[i]&tracefmt.AnnotFastRefused != 0 || t.Statuses[i].IsError() {
+			return
+		}
+		off := t.BytePositions[i] - int64(t.Returns[i])
+		in.noteRead(off, int64(t.Returns[i]))
+		if k == tracefmt.EvRead {
+			in.IrpReads++
+		} else {
+			in.FastReads++
+		}
+		if t.Annots[i]&tracefmt.AnnotFromCache != 0 {
+			in.CacheHitReads++
+		}
+		in.SizeAtClose = t.FileSizes[i]
+	case tracefmt.EvWrite, tracefmt.EvFastWrite, tracefmt.EvFastMdlWrite:
+		if t.Annots[i]&tracefmt.AnnotFastRefused != 0 || t.Statuses[i].IsError() {
+			return
+		}
+		off := t.BytePositions[i] - int64(t.Returns[i])
+		in.noteWrite(off, int64(t.Returns[i]))
+		if k == tracefmt.EvWrite {
+			in.IrpWrites++
+		} else {
+			in.FastWrites++
+		}
+		in.SizeAtClose = t.FileSizes[i]
+	case tracefmt.EvUserFsRequest, tracefmt.EvFileSystemControl, tracefmt.EvDeviceControl,
+		tracefmt.EvFastDeviceControl, tracefmt.EvMountVolume, tracefmt.EvVerifyVolume:
+		in.ControlOps++
+	case tracefmt.EvQueryDirectory, tracefmt.EvNotifyChangeDirectory, tracefmt.EvDirectoryControl:
+		in.DirOps++
+	case tracefmt.EvQueryInformation, tracefmt.EvFastQueryBasicInfo,
+		tracefmt.EvFastQueryStandardInfo, tracefmt.EvFastQueryNetworkOpenInfo,
+		tracefmt.EvQueryEa, tracefmt.EvQuerySecurity, tracefmt.EvQueryVolumeInformation:
+		in.QueryOps++
+	case tracefmt.EvSetDisposition:
+		in.SetOps++
+		if !t.Statuses[i].IsError() {
+			in.DeleteRequested = true
+		}
+	case tracefmt.EvSetEndOfFile, tracefmt.EvSetAllocation, tracefmt.EvSetBasic,
+		tracefmt.EvSetRename, tracefmt.EvSetInformation, tracefmt.EvSetEa,
+		tracefmt.EvSetSecurity, tracefmt.EvSetVolumeInformation:
+		in.SetOps++
+		in.SizeAtClose = t.FileSizes[i]
+	case tracefmt.EvLock, tracefmt.EvUnlockSingle, tracefmt.EvUnlockAll, tracefmt.EvLockControl,
+		tracefmt.EvFastLock, tracefmt.EvFastUnlockSingle, tracefmt.EvFastUnlockAll:
+		in.LockOps++
+	case tracefmt.EvFlushBuffers:
+		in.FlushOps++
+	case tracefmt.EvCleanup:
+		in.CleanupTime = t.Ends[i]
+	case tracefmt.EvClose:
+		in.CloseTime = t.Ends[i]
+	}
+}
+
+// lifetimesColumnar is Lifetimes over the column vectors.
+func lifetimesColumnar(mt *MachineTrace) LifetimeStats {
+	t := mt.tab
+	var ls LifetimeStats
+	births := map[string]*birth{}
+	type liveSession struct {
+		path      string
+		born      bool
+		deleteReq bool
+		tempAttr  bool
+		proc      uint32
+		lastSize  int64
+	}
+	live := map[types.FileObjectID]*liveSession{}
+
+	sel := mt.Index().Select(
+		tracefmt.EvCreate, tracefmt.EvWrite, tracefmt.EvFastWrite,
+		tracefmt.EvSetDisposition, tracefmt.EvCleanup, tracefmt.EvClose)
+	for _, i := range sel {
+		switch t.Kinds[i] {
+		case tracefmt.EvCreate:
+			id := t.FileIDs[i]
+			path := mt.PathOf(id)
+			res := types.CreateResult(t.Returns[i])
+			sess := &liveSession{path: path, proc: t.Procs[i],
+				tempAttr: t.Options[i].Has(types.OptDeleteOnClose) || t.Attributes[i].Has(types.AttrTemporary)}
+			live[id] = sess
+			switch res {
+			case types.FileCreated:
+				sess.born = true
+				ls.Births++
+				births[path] = &birth{at: t.Ends[i], proc: t.Procs[i]}
+			case types.FileOverwritten, types.FileSuperseded:
+				if b := births[path]; b != nil {
+					ls.Samples = append(ls.Samples, LifetimeSample{
+						Path:            path,
+						Method:          DeleteByOverwrite,
+						Lifetime:        t.Starts[i].Sub(b.at),
+						CloseToDeath:    closeGap(b, t.Starts[i]),
+						SizeAtDeath:     t.Offsets[i],
+						SameProcess:     t.Procs[i] == b.proc,
+						ReopenedBetween: b.reopens > 0,
+					})
+					delete(births, path)
+				}
+				sess.born = true
+				ls.Births++
+				births[path] = &birth{at: t.Ends[i], proc: t.Procs[i]}
+			case types.FileOpened:
+				if b := births[path]; b != nil {
+					b.reopens++
+				}
+			}
+		case tracefmt.EvWrite, tracefmt.EvFastWrite:
+			if sess := live[t.FileIDs[i]]; sess != nil {
+				sess.lastSize = t.FileSizes[i]
+			}
+		case tracefmt.EvSetDisposition:
+			if sess := live[t.FileIDs[i]]; sess != nil && !t.Statuses[i].IsError() {
+				sess.deleteReq = true
+			}
+		case tracefmt.EvCleanup:
+			sess := live[t.FileIDs[i]]
+			if sess == nil {
+				break
+			}
+			b := births[sess.path]
+			switch {
+			case sess.deleteReq || sess.tempAttr:
+				if b != nil {
+					method := DeleteExplicit
+					if sess.tempAttr && !sess.deleteReq {
+						method = DeleteByTempAttr
+					}
+					ls.Samples = append(ls.Samples, LifetimeSample{
+						Path:            sess.path,
+						Method:          method,
+						Lifetime:        t.Starts[i].Sub(b.at),
+						CloseToDeath:    closeGap(b, t.Starts[i]),
+						SizeAtDeath:     sess.lastSize,
+						SameProcess:     t.Procs[i] == b.proc,
+						ReopenedBetween: b.reopens > 0,
+					})
+					delete(births, sess.path)
+				}
+			case sess.born:
+				if b != nil {
+					b.closeAt = t.Ends[i]
+					b.size = sess.lastSize
+				}
+			}
+		case tracefmt.EvClose:
+			delete(live, t.FileIDs[i])
+		}
+	}
+	ls.SurvivorCount = len(births)
+	return ls
+}
+
+// requestClassesColumnar is RequestClasses over the column vectors.
+func requestClassesColumnar(mt *MachineTrace) RequestClassSeries {
+	t := mt.tab
+	var s RequestClassSeries
+	for _, i := range mt.Index().Select(requestPathKinds...) {
+		if t.Annots[i]&tracefmt.AnnotFastRefused != 0 || t.Statuses[i].IsError() {
+			continue
+		}
+		lat := t.Ends[i].Sub(t.Starts[i]).Microseconds()
+		size := float64(t.Lengths[i])
+		switch t.Kinds[i] {
+		case tracefmt.EvFastRead, tracefmt.EvFastMdlRead:
+			s.FastReadLatUS = append(s.FastReadLatUS, lat)
+			s.FastReadSize = append(s.FastReadSize, size)
+		case tracefmt.EvFastWrite, tracefmt.EvFastMdlWrite:
+			s.FastWriteLatUS = append(s.FastWriteLatUS, lat)
+			s.FastWriteSize = append(s.FastWriteSize, size)
+		case tracefmt.EvRead, tracefmt.EvPagingRead, tracefmt.EvReadAhead:
+			s.IrpReadLatUS = append(s.IrpReadLatUS, lat)
+			s.IrpReadSize = append(s.IrpReadSize, size)
+		case tracefmt.EvWrite, tracefmt.EvPagingWrite, tracefmt.EvLazyWrite:
+			s.IrpWriteLatUS = append(s.IrpWriteLatUS, lat)
+			s.IrpWriteSize = append(s.IrpWriteSize, size)
+		}
+	}
+	return s
+}
+
+// appReadLatenciesColumnar is AppReadLatencies over the column vectors.
+func appReadLatenciesColumnar(mt *MachineTrace) (fast, irp []float64) {
+	t := mt.tab
+	for _, i := range mt.Index().Select(tracefmt.EvFastRead, tracefmt.EvRead) {
+		if t.Annots[i]&tracefmt.AnnotFastRefused != 0 || t.Statuses[i].IsError() {
+			continue
+		}
+		switch t.Kinds[i] {
+		case tracefmt.EvFastRead:
+			fast = append(fast, t.Ends[i].Sub(t.Starts[i]).Microseconds())
+		case tracefmt.EvRead:
+			irp = append(irp, t.Ends[i].Sub(t.Starts[i]).Microseconds())
+		}
+	}
+	return fast, irp
+}
+
+// cacheHitReadLatenciesColumnar is CacheHitReadLatencies over the column
+// vectors.
+func cacheHitReadLatenciesColumnar(mt *MachineTrace) []float64 {
+	t := mt.tab
+	var out []float64
+	for _, i := range mt.Index().Select(tracefmt.EvFastRead, tracefmt.EvRead) {
+		if t.Annots[i]&tracefmt.AnnotFastRefused != 0 || t.Statuses[i].IsError() {
+			continue
+		}
+		if t.Annots[i]&tracefmt.AnnotFromCache == 0 {
+			continue
+		}
+		switch t.Kinds[i] {
+		case tracefmt.EvFastRead, tracefmt.EvRead:
+			out = append(out, t.Ends[i].Sub(t.Starts[i]).Microseconds())
+		}
+	}
+	return out
+}
+
+// fastIOSharesColumnar is FastIOShares over the column vectors.
+func fastIOSharesColumnar(mt *MachineTrace) (readShare, writeShare float64) {
+	t := mt.tab
+	var fr, ir, fw, iw int
+	for _, i := range mt.Index().Select(requestPathKinds...) {
+		if t.Annots[i]&tracefmt.AnnotFastRefused != 0 {
+			continue
+		}
+		switch t.Kinds[i] {
+		case tracefmt.EvFastRead, tracefmt.EvFastMdlRead:
+			fr++
+		case tracefmt.EvRead, tracefmt.EvPagingRead, tracefmt.EvReadAhead:
+			ir++
+		case tracefmt.EvFastWrite, tracefmt.EvFastMdlWrite:
+			fw++
+		case tracefmt.EvWrite, tracefmt.EvPagingWrite, tracefmt.EvLazyWrite:
+			iw++
+		}
+	}
+	if fr+ir > 0 {
+		readShare = float64(fr) / float64(fr+ir)
+	}
+	if fw+iw > 0 {
+		writeShare = float64(fw) / float64(fw+iw)
+	}
+	return readShare, writeShare
+}
+
+// controlsRecordsColumnar is Controls' record pass over the column
+// vectors.
+func controlsRecordsColumnar(mt *MachineTrace, c *ControlStats) {
+	t := mt.tab
+	sel := mt.Index().Select(
+		tracefmt.EvRead, tracefmt.EvFastRead,
+		tracefmt.EvUserFsRequest, tracefmt.EvFastDeviceControl,
+		tracefmt.EvSetEndOfFile)
+	for _, i := range sel {
+		switch t.Kinds[i] {
+		case tracefmt.EvRead, tracefmt.EvFastRead:
+			if t.Annots[i]&tracefmt.AnnotFastRefused != 0 {
+				continue
+			}
+			c.Reads++
+			if t.Statuses[i].IsError() {
+				c.ReadErrors++
+			}
+		case tracefmt.EvUserFsRequest, tracefmt.EvFastDeviceControl:
+			if t.FsControls[i] == types.FsctlIsVolumeMounted {
+				c.VolumeMountedOps++
+			}
+		case tracefmt.EvSetEndOfFile:
+			c.SetEndOfFileOps++
+		}
+	}
+}
+
+// cacheRecordsColumnar is Cache's record pass over the column vectors,
+// returning read-ahead times by path.
+func cacheRecordsColumnar(mt *MachineTrace, cm *CacheMeasures) map[string][]sim.Time {
+	t := mt.tab
+	ras := map[string][]sim.Time{}
+	sel := mt.Index().Select(
+		tracefmt.EvRead, tracefmt.EvFastRead, tracefmt.EvReadAhead,
+		tracefmt.EvLazyWrite, tracefmt.EvFlushBuffers)
+	for _, i := range sel {
+		switch t.Kinds[i] {
+		case tracefmt.EvRead, tracefmt.EvFastRead:
+			if t.Annots[i]&tracefmt.AnnotFastRefused != 0 || t.Statuses[i].IsError() {
+				continue
+			}
+			cm.Reads++
+			if t.Annots[i]&tracefmt.AnnotFromCache != 0 {
+				cm.ReadsFromCache++
+			}
+		case tracefmt.EvReadAhead:
+			cm.ReadAheadOps++
+			p := mt.PathOf(t.FileIDs[i])
+			ras[p] = append(ras[p], t.Starts[i])
+		case tracefmt.EvLazyWrite:
+			cm.LazyWriteOps++
+		case tracefmt.EvFlushBuffers:
+			cm.FlushOps++
+		}
+	}
+	return ras
+}
+
+// activityBinsColumnar is UserActivity's per-machine binning pass over
+// the column vectors.
+func activityBinsColumnar(mt *MachineTrace, interval sim.Duration, bins map[int64]float64, maxIdx *int64) {
+	t := mt.tab
+	for _, i := range mt.Index().Select(activityKinds...) {
+		k := t.Kinds[i]
+		if k.IsPaging() && t.FileIDs[i] >= tracefmt.PagingObjectIDBase {
+			continue
+		}
+		var bytes float64
+		switch {
+		case isDataTransferCol(k, t.Annots[i], t.Statuses[i]):
+			bytes = float64(t.Returns[i])
+		case k == tracefmt.EvPagingRead:
+			bytes = float64(t.Lengths[i])
+		default:
+			continue
+		}
+		idx := int64(t.Starts[i]) / int64(interval)
+		bins[idx] += bytes
+		if idx > *maxIdx {
+			*maxIdx = idx
+		}
+	}
+}
+
+// compressedReadsColumnar is CompressedReads over the column vectors.
+func compressedReadsColumnar(mt *MachineTrace) (compressed, plain []float64) {
+	t := mt.tab
+	for _, i := range mt.Index().OfKind(tracefmt.EvRead) {
+		if t.Statuses[i].IsError() {
+			continue
+		}
+		if t.Annots[i]&tracefmt.AnnotFromCache != 0 {
+			continue
+		}
+		if t.Attributes[i].Has(types.AttrCompressed) {
+			compressed = append(compressed, t.Ends[i].Sub(t.Starts[i]).Microseconds())
+		} else {
+			plain = append(plain, t.Ends[i].Sub(t.Starts[i]).Microseconds())
+		}
+	}
+	return compressed, plain
+}
+
+// dirSamplesColumnar is DirectoryThroughput's sample pass over the
+// column vectors.
+func dirSamplesColumnar(mt *MachineTrace) (lats, entries []float64, times []sim.Time) {
+	t := mt.tab
+	for _, i := range mt.Index().OfKind(tracefmt.EvQueryDirectory) {
+		if t.Statuses[i].IsError() {
+			continue
+		}
+		lats = append(lats, t.Ends[i].Sub(t.Starts[i]).Microseconds())
+		entries = append(entries, float64(t.Returns[i]))
+		times = append(times, t.Starts[i])
+	}
+	return lats, entries, times
+}

@@ -108,6 +108,9 @@ type birth struct {
 // deleted (delete disposition honoured at cleanup), or dropped through
 // the temporary attribute.
 func Lifetimes(mt *MachineTrace) LifetimeStats {
+	if mt.tab != nil {
+		return lifetimesColumnar(mt)
+	}
 	var ls LifetimeStats
 	births := map[string]*birth{}
 	// live maps file-object id → path for sessions created-new, so the

@@ -260,6 +260,9 @@ var requestPathKinds = []tracefmt.EventKind{
 }
 
 func RequestClasses(mt *MachineTrace) RequestClassSeries {
+	if mt.tab != nil {
+		return requestClassesColumnar(mt)
+	}
 	var s RequestClassSeries
 	for _, i := range mt.Index().Select(requestPathKinds...) {
 		r := &mt.Records[i]
@@ -290,6 +293,9 @@ func RequestClasses(mt *MachineTrace) RequestClassSeries {
 // reads only — FastIO vs non-paging IRP — for ablation comparisons where
 // VM/cache paging traffic would blur the picture.
 func AppReadLatencies(mt *MachineTrace) (fast, irp []float64) {
+	if mt.tab != nil {
+		return appReadLatenciesColumnar(mt)
+	}
 	for _, i := range mt.Index().Select(tracefmt.EvFastRead, tracefmt.EvRead) {
 		r := &mt.Records[i]
 		if r.Annot&tracefmt.AnnotFastRefused != 0 || r.Status.IsError() {
@@ -312,6 +318,9 @@ func AppReadLatencies(mt *MachineTrace) (fast, irp []float64) {
 // activity differences (heavy-tailed by construction) would otherwise
 // dominate the comparison.
 func CacheHitReadLatencies(mt *MachineTrace) []float64 {
+	if mt.tab != nil {
+		return cacheHitReadLatenciesColumnar(mt)
+	}
 	var out []float64
 	for _, i := range mt.Index().Select(tracefmt.EvFastRead, tracefmt.EvRead) {
 		r := &mt.Records[i]
@@ -332,6 +341,9 @@ func CacheHitReadLatencies(mt *MachineTrace) []float64 {
 // FastIOShares returns the §10 headline shares: the fraction of read and
 // write requests arriving over the FastIO path.
 func FastIOShares(mt *MachineTrace) (readShare, writeShare float64) {
+	if mt.tab != nil {
+		return fastIOSharesColumnar(mt)
+	}
 	var fr, ir, fw, iw int
 	for _, i := range mt.Index().Select(requestPathKinds...) {
 		r := &mt.Records[i]
@@ -418,6 +430,10 @@ func Controls(mt *MachineTrace, ins []*Instance) ControlStats {
 			c.ControlOnly++
 		}
 	}
+	if mt.tab != nil {
+		controlsRecordsColumnar(mt, &c)
+		return c
+	}
 	sel := mt.Index().Select(
 		tracefmt.EvRead, tracefmt.EvFastRead,
 		tracefmt.EvUserFsRequest, tracefmt.EvFastDeviceControl,
@@ -488,30 +504,11 @@ func (cm CacheMeasures) SinglePrefetchFraction() float64 {
 func Cache(mt *MachineTrace, ins []*Instance) CacheMeasures {
 	var cm CacheMeasures
 	// Index read-ahead events by path.
-	type raEvent struct{ at sim.Time }
-	ras := map[string][]raEvent{}
-	sel := mt.Index().Select(
-		tracefmt.EvRead, tracefmt.EvFastRead, tracefmt.EvReadAhead,
-		tracefmt.EvLazyWrite, tracefmt.EvFlushBuffers)
-	for _, i := range sel {
-		r := &mt.Records[i]
-		switch r.Kind {
-		case tracefmt.EvRead, tracefmt.EvFastRead:
-			if r.Annot&tracefmt.AnnotFastRefused != 0 || r.Status.IsError() {
-				continue
-			}
-			cm.Reads++
-			if r.Annot&tracefmt.AnnotFromCache != 0 {
-				cm.ReadsFromCache++
-			}
-		case tracefmt.EvReadAhead:
-			cm.ReadAheadOps++
-			ras[mt.PathOf(r.FileID)] = append(ras[mt.PathOf(r.FileID)], raEvent{r.Start})
-		case tracefmt.EvLazyWrite:
-			cm.LazyWriteOps++
-		case tracefmt.EvFlushBuffers:
-			cm.FlushOps++
-		}
+	var ras map[string][]sim.Time
+	if mt.tab != nil {
+		ras = cacheRecordsColumnar(mt, &cm)
+	} else {
+		ras = cacheRecordsRow(mt, &cm)
 	}
 	for _, in := range ins {
 		if in.Failed || !in.IsDataSession() {
@@ -528,8 +525,8 @@ func Cache(mt *MachineTrace, ins []*Instance) CacheMeasures {
 			if end == 0 {
 				end = in.CleanupTime
 			}
-			for _, ra := range ras[in.Path] {
-				if ra.at >= in.OpenTime && (end == 0 || ra.at <= end) {
+			for _, at := range ras[in.Path] {
+				if at >= in.OpenTime && (end == 0 || at <= end) {
 					n++
 				}
 			}
@@ -545,6 +542,37 @@ func Cache(mt *MachineTrace, ins []*Instance) CacheMeasures {
 		}
 	}
 	return cm
+}
+
+// cacheRecordsRow is Cache's record pass over materialized rows,
+// returning read-ahead times by path.
+func cacheRecordsRow(mt *MachineTrace, cm *CacheMeasures) map[string][]sim.Time {
+	ras := map[string][]sim.Time{}
+	sel := mt.Index().Select(
+		tracefmt.EvRead, tracefmt.EvFastRead, tracefmt.EvReadAhead,
+		tracefmt.EvLazyWrite, tracefmt.EvFlushBuffers)
+	for _, i := range sel {
+		r := &mt.Records[i]
+		switch r.Kind {
+		case tracefmt.EvRead, tracefmt.EvFastRead:
+			if r.Annot&tracefmt.AnnotFastRefused != 0 || r.Status.IsError() {
+				continue
+			}
+			cm.Reads++
+			if r.Annot&tracefmt.AnnotFromCache != 0 {
+				cm.ReadsFromCache++
+			}
+		case tracefmt.EvReadAhead:
+			cm.ReadAheadOps++
+			p := mt.PathOf(r.FileID)
+			ras[p] = append(ras[p], r.Start)
+		case tracefmt.EvLazyWrite:
+			cm.LazyWriteOps++
+		case tracefmt.EvFlushBuffers:
+			cm.FlushOps++
+		}
+	}
+	return ras
 }
 
 // --- §8.1: reuse and the two-stage close ----------------------------------
@@ -649,21 +677,28 @@ type ActivityRow struct {
 // user counts application-level data transfers plus VM paging for
 // executables (following §3.3's accounting), excluding cache-manager
 // duplicates. The activity threshold models the §6.1 background level.
+// activityKinds are the only kinds that contribute bytes to the Table 2
+// throughput bins: data transfers and VM paging reads; every other kind
+// fell through to `continue` in the pre-index scan.
+var activityKinds = []tracefmt.EventKind{
+	tracefmt.EvRead, tracefmt.EvWrite,
+	tracefmt.EvFastRead, tracefmt.EvFastWrite,
+	tracefmt.EvFastMdlRead, tracefmt.EvFastMdlWrite,
+	tracefmt.EvPagingRead,
+}
+
 func UserActivity(ds *DataSet, interval sim.Duration, thresholdBytes float64) ActivityRow {
 	row := ActivityRow{IntervalSeconds: interval.Seconds()}
 	// Per machine: bytes per interval index.
 	perMachine := make([]map[int64]float64, len(ds.Machines))
 	var maxIdx int64
-	// Only data transfers and VM paging reads contribute bytes; every
-	// other kind fell through to `continue` in the pre-index scan.
-	activityKinds := []tracefmt.EventKind{
-		tracefmt.EvRead, tracefmt.EvWrite,
-		tracefmt.EvFastRead, tracefmt.EvFastWrite,
-		tracefmt.EvFastMdlRead, tracefmt.EvFastMdlWrite,
-		tracefmt.EvPagingRead,
-	}
 	for mi, mt := range ds.Machines {
 		bins := map[int64]float64{}
+		if mt.tab != nil {
+			activityBinsColumnar(mt, interval, bins, &maxIdx)
+			perMachine[mi] = bins
+			continue
+		}
 		for _, i := range mt.Index().Select(activityKinds...) {
 			r := &mt.Records[i]
 			if IsCachePaging(r) {

@@ -39,8 +39,9 @@ type key struct {
 // not demand.
 func ExtractReads(mt *analysis.MachineTrace) []Access {
 	var out []Access
+	recs := mt.Rows()
 	for _, i := range mt.Index().Select(tracefmt.EvRead, tracefmt.EvFastRead) {
-		r := &mt.Records[i]
+		r := &recs[i]
 		if r.Annot&tracefmt.AnnotFastRefused != 0 || r.Status.IsError() || r.Returned <= 0 {
 			continue
 		}

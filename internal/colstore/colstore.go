@@ -174,7 +174,13 @@ const (
 	encRaw     byte = 0 // one byte per value (all values < 256), or 64-byte blobs for ColName
 	encUvarint byte = 1 // unsigned varints
 	encDict    byte = 2 // uvarint dict count, dict values, then per-record indexes
-	encMax     byte = encDict
+	// encNameSparse stores only the non-empty name blobs (ColName only):
+	// uvarint count k, then k strictly increasing row positions (first
+	// absolute, rest as gaps from the previous position), then k 64-byte
+	// blobs. Most blocks name only a few percent of their records, so the
+	// sparse form beats the raw blob by ~the empty fraction.
+	encNameSparse byte = 3
+	encMax        byte = encNameSparse
 
 	encFlateBit byte = 0x80
 )

@@ -21,6 +21,9 @@ type Metrics struct {
 	// blocks were eliminated by zone maps without touching their bytes.
 	BlocksScanned *obs.Counter
 	BlocksSkipped *obs.Counter
+	// BatchesReused counts scans that checked a warm decode scratch out
+	// of a segment's pool instead of allocating fresh buffers.
+	BatchesReused *obs.Counter
 	// EncodeUS / ScanUS time block encodes and whole scans (wall µs).
 	EncodeUS *obs.Histogram
 	ScanUS   *obs.Histogram
@@ -28,6 +31,9 @@ type Metrics struct {
 	// bytesDecoded counts encoded bytes inflated per column family —
 	// the decode-savings evidence for predicate pushdown.
 	bytesDecoded map[Family]*obs.Counter
+	// columnsDecoded counts column decodes per family — how many column
+	// payloads each figure's projection actually touched.
+	columnsDecoded map[Family]*obs.Counter
 }
 
 // NewMetrics builds the bundle on r. A nil registry yields nil, and the
@@ -43,13 +49,18 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		BytesWritten:    r.Counter("colstore_bytes_written_total", "Encoded columnar bytes written."),
 		BlocksScanned:   r.Counter("colstore_blocks_scanned_total", "Blocks whose columns a scan decoded."),
 		BlocksSkipped:   r.Counter("colstore_blocks_skipped_total", "Blocks eliminated by zone maps without decoding."),
+		BatchesReused:   r.Counter("colstore_batches_reused_total", "Scans served from a warm pooled decode scratch."),
 		EncodeUS:        r.Histogram("colstore_encode_block_us", "Wall-clock microseconds to encode one block."),
 		ScanUS:          r.Histogram("colstore_scan_us", "Wall-clock microseconds for one segment scan."),
 		bytesDecoded:    make(map[Family]*obs.Counter, len(Families)),
+		columnsDecoded:  make(map[Family]*obs.Counter, len(Families)),
 	}
 	for _, f := range Families {
 		m.bytesDecoded[f] = r.Counter("colstore_bytes_decoded_total",
 			"Encoded bytes decoded per column family.",
+			obs.Label{Key: "family", Value: string(f)})
+		m.columnsDecoded[f] = r.Counter("colstore_columns_decoded_total",
+			"Column payload decodes per column family.",
 			obs.Label{Key: "family", Value: string(f)})
 	}
 	return m
@@ -62,6 +73,15 @@ func (m *Metrics) BytesDecoded(f Family) uint64 {
 		return 0
 	}
 	return m.bytesDecoded[f].Value()
+}
+
+// ColumnsDecoded reads the column-decode counter for one family (0 when
+// the bundle is nil).
+func (m *Metrics) ColumnsDecoded(f Family) uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.columnsDecoded[f].Value()
 }
 
 // TotalBytesDecoded sums decoded bytes across families.
@@ -107,11 +127,19 @@ func (m *Metrics) incSkipped() {
 	}
 }
 
+func (m *Metrics) incBatchReused() {
+	if m != nil {
+		m.BatchesReused.Inc()
+	}
+}
+
 func (m *Metrics) countDecoded(c Column, n int) {
 	if m == nil {
 		return
 	}
-	m.bytesDecoded[c.ColumnFamily()].Add(uint64(n))
+	f := c.ColumnFamily()
+	m.bytesDecoded[f].Add(uint64(n))
+	m.columnsDecoded[f].Inc()
 }
 
 func (m *Metrics) observeEncode(start time.Time, records int) {

@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"io"
+	"sync"
 
 	"repro/internal/tracefmt"
 )
@@ -20,6 +21,51 @@ type Segment struct {
 	count int
 	sha   [sha256.Size]byte
 	m     *Metrics
+
+	mu   sync.Mutex
+	free []*decodeScratch
+}
+
+// decodeScratch recycles every per-block decode buffer across blocks and
+// across scans of the same segment: the column value arrays, the flate
+// reader and its staging buffers, and the dictionary table. Scans check
+// one out via acquireScratch and return it when they finish, so a warm
+// scan decodes blocks with zero steady-state allocation (the batch-pool
+// mirror of tracefmt.Reader.Reset on the row side).
+type decodeScratch struct {
+	bv      blockVals
+	br      blockReader
+	fr      io.ReadCloser // flate reader, reused via flate.Resetter
+	frSrc   bytes.Reader
+	out     []byte // inflate output
+	copyBuf []byte // inflate staging
+	dict    []uint64
+	sel     []int32 // per-block row selection
+}
+
+// acquireScratch checks a scratch out of the segment's free list,
+// reporting whether it came back warm (a reuse, for the metrics ledger).
+func (s *Segment) acquireScratch() *decodeScratch {
+	s.mu.Lock()
+	if n := len(s.free); n > 0 {
+		sc := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.mu.Unlock()
+		s.m.incBatchReused()
+		return sc
+	}
+	s.mu.Unlock()
+	return &decodeScratch{}
+}
+
+func (s *Segment) releaseScratch(sc *decodeScratch) {
+	if sc == nil {
+		return
+	}
+	s.mu.Lock()
+	s.free = append(s.free, sc)
+	s.mu.Unlock()
 }
 
 // OpenSegment validates the segment envelope and footer of data and
@@ -145,48 +191,61 @@ type colData struct {
 }
 
 // blockReader is one block with validated framing, columns undecoded.
+// When sc is set, decodes borrow the scratch's buffers instead of
+// allocating.
 type blockReader struct {
 	seg  *Segment
 	meta *blockMeta
 	n    int
 	cols [numColumns]colData
+	sc   *decodeScratch
 }
 
 // parseBlock checks the block's CRC and splits it into column payloads.
 func (s *Segment) parseBlock(meta *blockMeta) (*blockReader, error) {
+	br := &blockReader{}
+	if err := s.parseBlockInto(meta, br); err != nil {
+		return nil, err
+	}
+	return br, nil
+}
+
+// parseBlockInto is parseBlock without the allocation: it validates the
+// block and fills br in place, preserving br.sc.
+func (s *Segment) parseBlockInto(meta *blockMeta, br *blockReader) error {
 	raw := s.data[meta.offset : meta.offset+uint64(meta.length)]
 	if crc32.ChecksumIEEE(raw) != meta.crc {
-		return nil, corruptf("block at %d: CRC mismatch", meta.offset)
+		return corruptf("block at %d: CRC mismatch", meta.offset)
 	}
 	if len(raw) < 4 {
-		return nil, corruptf("block at %d: short header", meta.offset)
+		return corruptf("block at %d: short header", meta.offset)
 	}
 	n := binary.LittleEndian.Uint32(raw)
 	if n != meta.count {
-		return nil, corruptf("block at %d: header count %d != footer count %d", meta.offset, n, meta.count)
+		return corruptf("block at %d: header count %d != footer count %d", meta.offset, n, meta.count)
 	}
-	br := &blockReader{seg: s, meta: meta, n: int(n)}
+	br.seg, br.meta, br.n = s, meta, int(n)
 	rest := raw[4:]
 	for c := 0; c < NumColumns; c++ {
 		if len(rest) < 5 {
-			return nil, corruptf("block at %d: truncated column %s", meta.offset, Column(c).Name())
+			return corruptf("block at %d: truncated column %s", meta.offset, Column(c).Name())
 		}
 		tag := rest[0]
 		plen := int(binary.LittleEndian.Uint32(rest[1:]))
 		rest = rest[5:]
 		if plen > len(rest) {
-			return nil, corruptf("block at %d: column %s overruns block", meta.offset, Column(c).Name())
+			return corruptf("block at %d: column %s overruns block", meta.offset, Column(c).Name())
 		}
 		if base := tag &^ encFlateBit; base > encMax {
-			return nil, corruptf("block at %d: column %s: unknown encoding %d", meta.offset, Column(c).Name(), tag)
+			return corruptf("block at %d: column %s: unknown encoding %d", meta.offset, Column(c).Name(), tag)
 		}
 		br.cols[c] = colData{tag: tag, payload: rest[:plen]}
 		rest = rest[plen:]
 	}
 	if len(rest) != 0 {
-		return nil, corruptf("block at %d: %d stray bytes after columns", meta.offset, len(rest))
+		return corruptf("block at %d: %d stray bytes after columns", meta.offset, len(rest))
 	}
-	return br, nil
+	return nil
 }
 
 // inflate decompresses a flate-wrapped column payload, refusing to
@@ -214,13 +273,46 @@ func inflate(p []byte, limit int) ([]byte, error) {
 }
 
 // payload returns the column's base-encoded bytes, inflating the flate
-// wrapper when present. limit bounds the inflated size.
+// wrapper when present. limit bounds the inflated size. With a scratch
+// attached the inflate reuses the pooled reader and output buffer; the
+// result is only valid until the next payload call.
 func (br *blockReader) payload(c Column, limit int) ([]byte, error) {
 	cd := &br.cols[c]
 	if cd.tag&encFlateBit == 0 {
 		return cd.payload, nil
 	}
-	return inflate(cd.payload, limit)
+	sc := br.sc
+	if sc == nil {
+		return inflate(cd.payload, limit)
+	}
+	sc.frSrc.Reset(cd.payload)
+	if sc.fr == nil {
+		sc.fr = flate.NewReader(&sc.frSrc)
+	} else if err := sc.fr.(flate.Resetter).Reset(&sc.frSrc, nil); err != nil {
+		return nil, corruptf("column inflate reset: %v", err)
+	}
+	if sc.copyBuf == nil {
+		sc.copyBuf = make([]byte, 32<<10)
+	}
+	out := sc.out[:0]
+	for {
+		n, err := sc.fr.Read(sc.copyBuf)
+		if n > 0 {
+			if len(out)+n > limit {
+				sc.out = out
+				return nil, corruptf("column inflates past its %d-byte bound", limit)
+			}
+			out = append(out, sc.copyBuf[:n]...)
+		}
+		if err == io.EOF {
+			sc.out = out
+			return out, nil
+		}
+		if err != nil {
+			sc.out = out
+			return nil, corruptf("column inflate: %v", err)
+		}
+	}
 }
 
 // decodeInts decodes a value column into its transform-domain values.
@@ -261,7 +353,15 @@ func (br *blockReader) decodeInts(c Column, dst []uint64) error {
 			return corruptf("block at %d: column %s: implausible dictionary size %d", off, name, dn)
 		}
 		p = p[n:]
-		dict := make([]uint64, dn)
+		var dict []uint64
+		if sc := br.sc; sc != nil {
+			if cap(sc.dict) < int(dn) {
+				sc.dict = make([]uint64, dn)
+			}
+			dict = sc.dict[:dn]
+		} else {
+			dict = make([]uint64, dn)
+		}
 		for i := range dict {
 			u, n := binary.Uvarint(p)
 			if n <= 0 {
@@ -300,20 +400,75 @@ func (br *blockReader) decodeInts(c Column, dst []uint64) error {
 	return nil
 }
 
-// decodeName decodes the 64-byte name blobs. dst must be 64*count long.
-func (br *blockReader) decodeName(dst []byte) error {
+// decodeNameVals decodes the 64-byte name column into bv, preserving
+// the writer's shape: dense blocks land in bv.name verbatim, sparse
+// blocks keep only their (position, blob) pairs in bv.namePos and
+// bv.nameBlobs — the zero rows of a mostly-unnamed block are never
+// materialized.
+func (br *blockReader) decodeNameVals(bv *blockVals) error {
 	want := br.n * tracefmt.NameLen
 	p, err := br.payload(ColName, want)
 	if err != nil {
 		return err
 	}
-	if br.cols[ColName].tag&^encFlateBit != encRaw {
-		return corruptf("block at %d: name column: unexpected encoding %d", br.meta.offset, br.cols[ColName].tag)
+	off := int64(br.meta.offset)
+	bv.nameCur = 0
+	switch br.cols[ColName].tag &^ encFlateBit {
+	case encRaw:
+		if len(p) != want {
+			return corruptf("block at %d: name column: %d bytes for %d records", off, len(p), br.n)
+		}
+		bv.nameSparse = false
+		if cap(bv.name) < want {
+			bv.name = make([]byte, want)
+		}
+		bv.name = bv.name[:want]
+		copy(bv.name, p)
+	case encNameSparse:
+		bv.nameSparse = true
+		k64, n := binary.Uvarint(p)
+		if n <= 0 || k64 > uint64(br.n) {
+			return corruptf("block at %d: name column: implausible sparse count", off)
+		}
+		p = p[n:]
+		k := int(k64)
+		if cap(bv.namePos) < k {
+			bv.namePos = make([]int32, k)
+		}
+		bv.namePos = bv.namePos[:k]
+		pos := -1
+		// Positions first (first absolute, rest strictly positive gaps),
+		// blobs after.
+		for i := 0; i < k; i++ {
+			gap, n := binary.Uvarint(p)
+			if n <= 0 {
+				return corruptf("block at %d: name column: bad sparse position %d", off, i)
+			}
+			p = p[n:]
+			if i == 0 {
+				pos = int(gap)
+			} else {
+				if gap == 0 {
+					return corruptf("block at %d: name column: non-increasing sparse position %d", off, i)
+				}
+				pos += int(gap)
+			}
+			if pos >= br.n {
+				return corruptf("block at %d: name column: sparse position %d out of block", off, pos)
+			}
+			bv.namePos[i] = int32(pos)
+		}
+		if len(p) != k*tracefmt.NameLen {
+			return corruptf("block at %d: name column: %d sparse blob bytes for %d names", off, len(p), k)
+		}
+		if cap(bv.nameBlobs) < len(p) {
+			bv.nameBlobs = make([]byte, len(p))
+		}
+		bv.nameBlobs = bv.nameBlobs[:len(p)]
+		copy(bv.nameBlobs, p)
+	default:
+		return corruptf("block at %d: name column: unexpected encoding %d", off, br.cols[ColName].tag)
 	}
-	if len(p) != want {
-		return corruptf("block at %d: name column: %d bytes for %d records", br.meta.offset, len(p), br.n)
-	}
-	copy(dst, p)
 	br.seg.m.countDecoded(ColName, len(br.cols[ColName].payload))
 	return nil
 }

@@ -85,25 +85,75 @@ const (
 	ScanStatus
 	ScanFlags
 	ScanAnnot
+	ScanFOFl
+	ScanBytePos
+	ScanDisposition
+	ScanOptions
+	ScanAttributes
+	ScanFsControl
+	ScanName
 )
+
+// ScanAllNumeric selects every projectable column except the 64-byte
+// names — the widest projection that still skips name-blob inflation,
+// and the column set the vectorized compute kernels consume.
+const ScanAllNumeric = ScanKind | ScanStart | ScanEnd | ScanOffset |
+	ScanLength | ScanReturned | ScanFileSize | ScanProc | ScanFileID |
+	ScanStatus | ScanFlags | ScanAnnot | ScanFOFl | ScanBytePos |
+	ScanDisposition | ScanOptions | ScanAttributes | ScanFsControl
 
 // Batch is the result of a column-projected scan: only the requested
 // columns are non-nil, all of equal length N, row i across the slices
-// describing one matching record in stream order.
+// describing one matching record in stream order. Names holds
+// tracefmt.NameLen bytes per row when ScanName was requested.
 type Batch struct {
-	N         int
-	Kinds     []tracefmt.EventKind
-	Starts    []sim.Time
-	Ends      []sim.Time
-	Offsets   []int64
-	Lengths   []int32
-	Returns   []int32
-	FileSizes []int64
-	Procs     []uint32
-	FileIDs   []types.FileObjectID
-	Statuses  []types.Status
-	Flags     []types.IrpFlags
-	Annots    []uint8
+	N             int
+	Kinds         []tracefmt.EventKind
+	Starts        []sim.Time
+	Ends          []sim.Time
+	Offsets       []int64
+	Lengths       []int32
+	Returns       []int32
+	FileSizes     []int64
+	Procs         []uint32
+	FileIDs       []types.FileObjectID
+	Statuses      []types.Status
+	Flags         []types.IrpFlags
+	Annots        []uint8
+	FOFls         []types.FileObjectFlags
+	BytePositions []int64
+	Dispositions  []types.CreateDisposition
+	Options       []types.CreateOptions
+	Attributes    []types.FileAttributes
+	FsControls    []types.FsControlCode
+	Names         []byte
+}
+
+// Reset truncates the batch in place, keeping every column's capacity.
+// This is the reuse contract of BlockScanner.Next: Reset before each
+// call and the steady-state scan performs no per-block allocation (the
+// batch mirror of tracefmt.Reader.Reset).
+func (b *Batch) Reset() {
+	b.N = 0
+	b.Kinds = b.Kinds[:0]
+	b.Starts = b.Starts[:0]
+	b.Ends = b.Ends[:0]
+	b.Offsets = b.Offsets[:0]
+	b.Lengths = b.Lengths[:0]
+	b.Returns = b.Returns[:0]
+	b.FileSizes = b.FileSizes[:0]
+	b.Procs = b.Procs[:0]
+	b.FileIDs = b.FileIDs[:0]
+	b.Statuses = b.Statuses[:0]
+	b.Flags = b.Flags[:0]
+	b.Annots = b.Annots[:0]
+	b.FOFls = b.FOFls[:0]
+	b.BytePositions = b.BytePositions[:0]
+	b.Dispositions = b.Dispositions[:0]
+	b.Options = b.Options[:0]
+	b.Attributes = b.Attributes[:0]
+	b.FsControls = b.FsControls[:0]
+	b.Names = b.Names[:0]
 }
 
 // scanCols maps the projection onto the physical columns that must be
@@ -146,16 +196,49 @@ func scanCols(p *Predicate, cols ColumnSet) (need [numColumns]bool) {
 	if cols&ScanAnnot != 0 {
 		need[ColAnnot] = true
 	}
+	if cols&ScanFOFl != 0 {
+		need[ColFOFl] = true
+	}
+	if cols&ScanBytePos != 0 {
+		need[ColBytePos] = true
+	}
+	if cols&ScanDisposition != 0 {
+		need[ColDisposition] = true
+	}
+	if cols&ScanOptions != 0 {
+		need[ColOptions] = true
+	}
+	if cols&ScanAttributes != 0 {
+		need[ColAttributes] = true
+	}
+	if cols&ScanFsControl != 0 {
+		need[ColFsControl] = true
+	}
+	if cols&ScanName != 0 {
+		need[ColName] = true
+	}
 	return need
 }
 
 // blockVals holds one block's decoded columns in semantic domain:
-// unsigned columns verbatim, signed/time columns as uint64(int64).
+// unsigned columns verbatim, signed/time columns as uint64(int64). The
+// name column keeps the writer's shape: dense blobs in name, or — when
+// the block was sparse-encoded — only the present (position, blob)
+// pairs in namePos/nameBlobs, so a scan never materializes the zero
+// rows of a mostly-unnamed block.
 type blockVals struct {
 	n    int
 	u    [numColumns][]uint64
-	name []byte
+	name []byte // dense blobs (nameSparse false)
+
+	nameSparse bool
+	namePos    []int32 // ascending row positions bearing a name
+	nameBlobs  []byte  // their blobs, NameLen bytes each
+	nameCur    int     // record()'s monotone cursor into namePos
 }
+
+// zeroName is the blob of a row that carries no name.
+var zeroName [tracefmt.NameLen]byte
 
 // decodeBlockVals decodes the needed columns of one block, undoing the
 // per-column transforms (zigzag, delta chains).
@@ -171,11 +254,7 @@ func (s *Segment) decodeBlockVals(br *blockReader, need *[numColumns]bool, bv *b
 			continue
 		}
 		if c == ColName {
-			if cap(bv.name) < br.n*tracefmt.NameLen {
-				bv.name = make([]byte, br.n*tracefmt.NameLen)
-			}
-			bv.name = bv.name[:br.n*tracefmt.NameLen]
-			if err := br.decodeName(bv.name); err != nil {
+			if err := br.decodeNameVals(bv); err != nil {
 				return err
 			}
 			continue
@@ -213,83 +292,314 @@ func (s *Segment) decodeBlockVals(br *blockReader, need *[numColumns]bool, bv *b
 	return nil
 }
 
-// ScanColumns runs a column-projected scan: blocks are skipped via zone
-// maps, only the needed column payloads are decoded, and matching rows
-// are gathered into a Batch in stream order.
-func (s *Segment) ScanColumns(p Predicate, cols ColumnSet) (*Batch, error) {
-	start := time.Now()
-	defer func() { s.m.observeScan(start) }()
-	mask := p.kindMask()
-	want := p.kindSet()
-	need := scanCols(&p, cols)
-	out := &Batch{}
-	var bv blockVals
-	for i := range s.metas {
-		meta := &s.metas[i]
-		if p.skip(mask, meta) {
+// BlockScanner streams a column-projected scan block-at-a-time. Obtain
+// one with Segment.Batches, call Next until it reports false (or an
+// error) and Close when abandoning the scan early. The scanner holds a
+// pooled decode scratch checked out of the segment; Next performs no
+// per-block allocation once the batch and scratch capacities are warm.
+type BlockScanner struct {
+	seg      *Segment
+	p        Predicate
+	cols     ColumnSet
+	mask     uint64
+	wantArr  [256]bool
+	haveWant bool
+	need     [numColumns]bool
+	idx      int
+	sc       *decodeScratch
+	start    time.Time
+	done     bool
+}
+
+// Batches starts a streaming scan: blocks are skipped via zone maps,
+// only the needed column payloads are decoded, and each surviving
+// block's matching rows are appended to the caller's Batch by Next.
+func (s *Segment) Batches(p Predicate, cols ColumnSet) BlockScanner {
+	it := BlockScanner{seg: s, p: p, cols: cols, mask: p.kindMask(), start: time.Now()}
+	for _, k := range p.Kinds {
+		it.wantArr[byte(k)] = true
+	}
+	it.haveWant = len(p.Kinds) > 0
+	it.need = scanCols(&p, cols)
+	it.sc = s.acquireScratch()
+	it.sc.br.sc = it.sc
+	return it
+}
+
+// Next decodes the next zone-map-surviving block and appends its
+// matching rows to b (call b.Reset first to stream block-at-a-time, or
+// skip the Reset to accumulate a whole scan). It reports false when the
+// segment is exhausted, releasing the scanner's scratch.
+func (it *BlockScanner) Next(b *Batch) (bool, error) {
+	if it.done {
+		return false, nil
+	}
+	s := it.seg
+	for it.idx < len(s.metas) {
+		meta := &s.metas[it.idx]
+		it.idx++
+		if it.p.skip(it.mask, meta) {
 			s.m.incSkipped()
 			continue
 		}
 		s.m.incScanned()
-		br, err := s.parseBlock(meta)
-		if err != nil {
-			return nil, err
+		sc := it.sc
+		if err := s.parseBlockInto(meta, &sc.br); err != nil {
+			it.finish()
+			return false, err
 		}
-		if err := s.decodeBlockVals(br, &need, &bv); err != nil {
-			return nil, err
+		if err := s.decodeBlockVals(&sc.br, &it.need, &sc.bv); err != nil {
+			it.finish()
+			return false, err
 		}
+		it.appendBlock(b, &sc.bv)
+		return true, nil
+	}
+	it.finish()
+	return false, nil
+}
+
+// Close releases the scanner's pooled scratch. Safe to call more than
+// once or after Next reported exhaustion.
+func (it *BlockScanner) Close() { it.finish() }
+
+func (it *BlockScanner) finish() {
+	if it.done {
+		return
+	}
+	it.done = true
+	if it.sc != nil {
+		it.seg.releaseScratch(it.sc)
+		it.sc = nil
+	}
+	it.seg.m.observeScan(it.start)
+}
+
+// integer admits every numeric column's element type. Converting the
+// transform-domain uint64 by plain conversion T(u) truncates to T's
+// width with two's-complement wraparound — bit-identical to the
+// signed two-step forms (int32(int64(u)) and friends) for every width.
+type integer interface {
+	~int8 | ~uint8 | ~int16 | ~uint16 | ~int32 | ~uint32 | ~int64 | ~uint64
+}
+
+// extend grows s by n elements, returning the lengthened slice. With
+// warm capacity this is a reslice — the zero-allocation steady state of
+// a reused Batch.
+func extend[T any](s []T, n int) []T {
+	if tot := len(s) + n; tot <= cap(s) {
+		return s[:tot]
+	}
+	ns := make([]T, len(s)+n, max(2*cap(s), len(s)+n))
+	copy(ns, s)
+	return ns
+}
+
+// gatherNum appends the selected (or, with sel nil, all) values of src
+// to dst by direct integer conversion. Extending first and writing by
+// index keeps the hot loop free of both append bookkeeping and the
+// per-element indirect call a conversion closure would cost.
+func gatherNum[T integer](dst []T, src []uint64, sel []int32) []T {
+	if src == nil {
+		return dst
+	}
+	n := len(dst)
+	if sel == nil {
+		dst = extend(dst, len(src))
+		out := dst[n:]
+		for i, u := range src {
+			out[i] = T(u)
+		}
+		return dst
+	}
+	dst = extend(dst, len(sel))
+	out := dst[n:]
+	for i, r := range sel {
+		out[i] = T(src[r])
+	}
+	return dst
+}
+
+// Grow reserves capacity for n more rows in every column cols selects,
+// so a scan of known cardinality accumulates without re-growing (and
+// re-copying) mid-scan.
+func (b *Batch) Grow(cols ColumnSet, n int) {
+	reserve := func(c ColumnSet, grow func()) {
+		if cols&c != 0 {
+			grow()
+		}
+	}
+	reserve(ScanKind, func() { b.Kinds = extend(b.Kinds, n)[:len(b.Kinds)] })
+	reserve(ScanStart, func() { b.Starts = extend(b.Starts, n)[:len(b.Starts)] })
+	reserve(ScanEnd, func() { b.Ends = extend(b.Ends, n)[:len(b.Ends)] })
+	reserve(ScanOffset, func() { b.Offsets = extend(b.Offsets, n)[:len(b.Offsets)] })
+	reserve(ScanLength, func() { b.Lengths = extend(b.Lengths, n)[:len(b.Lengths)] })
+	reserve(ScanReturned, func() { b.Returns = extend(b.Returns, n)[:len(b.Returns)] })
+	reserve(ScanFileSize, func() { b.FileSizes = extend(b.FileSizes, n)[:len(b.FileSizes)] })
+	reserve(ScanProc, func() { b.Procs = extend(b.Procs, n)[:len(b.Procs)] })
+	reserve(ScanFileID, func() { b.FileIDs = extend(b.FileIDs, n)[:len(b.FileIDs)] })
+	reserve(ScanStatus, func() { b.Statuses = extend(b.Statuses, n)[:len(b.Statuses)] })
+	reserve(ScanFlags, func() { b.Flags = extend(b.Flags, n)[:len(b.Flags)] })
+	reserve(ScanAnnot, func() { b.Annots = extend(b.Annots, n)[:len(b.Annots)] })
+	reserve(ScanFOFl, func() { b.FOFls = extend(b.FOFls, n)[:len(b.FOFls)] })
+	reserve(ScanBytePos, func() { b.BytePositions = extend(b.BytePositions, n)[:len(b.BytePositions)] })
+	reserve(ScanDisposition, func() { b.Dispositions = extend(b.Dispositions, n)[:len(b.Dispositions)] })
+	reserve(ScanOptions, func() { b.Options = extend(b.Options, n)[:len(b.Options)] })
+	reserve(ScanAttributes, func() { b.Attributes = extend(b.Attributes, n)[:len(b.Attributes)] })
+	reserve(ScanFsControl, func() { b.FsControls = extend(b.FsControls, n)[:len(b.FsControls)] })
+	reserve(ScanName, func() { b.Names = extend(b.Names, n*tracefmt.NameLen)[:len(b.Names)] })
+}
+
+// appendBlock folds one decoded block into the batch: a single selection
+// pass over the filter columns, then one tight append loop per projected
+// column — the vectorized inner shape of the scan path.
+func (it *BlockScanner) appendBlock(b *Batch, bv *blockVals) {
+	cols := it.cols
+	var sel []int32
+	filtered := it.haveWant || it.p.MinStart > 0 || it.p.MaxStart > 0
+	if filtered {
+		var want *[256]bool
+		if it.haveWant {
+			want = &it.wantArr
+		}
+		kinds := bv.u[ColKind]
+		starts := bv.u[ColStart]
+		sel = it.sc.sel[:0]
 		for r := 0; r < bv.n; r++ {
 			var kind uint64
 			var st int64
-			if bv.u[ColKind] != nil {
-				kind = bv.u[ColKind][r]
+			if kinds != nil {
+				kind = kinds[r]
 			}
-			if bv.u[ColStart] != nil {
-				st = int64(bv.u[ColStart][r])
+			if starts != nil {
+				st = int64(starts[r])
 			}
-			if !p.matchRow(want, kind, st) {
-				continue
+			if it.p.matchRow(want, kind, st) {
+				sel = append(sel, int32(r))
 			}
-			out.N++
-			if cols&ScanKind != 0 {
-				out.Kinds = append(out.Kinds, tracefmt.EventKind(kind))
+		}
+		it.sc.sel = sel
+		b.N += len(sel)
+		if len(sel) == 0 {
+			return
+		}
+	} else {
+		b.N += bv.n
+	}
+	if cols&ScanKind != 0 {
+		b.Kinds = gatherNum(b.Kinds, bv.u[ColKind], sel)
+	}
+	if cols&ScanStart != 0 {
+		b.Starts = gatherNum(b.Starts, bv.u[ColStart], sel)
+	}
+	if cols&ScanEnd != 0 {
+		b.Ends = gatherNum(b.Ends, bv.u[ColEnd], sel)
+	}
+	if cols&ScanOffset != 0 {
+		b.Offsets = gatherNum(b.Offsets, bv.u[ColOffset], sel)
+	}
+	if cols&ScanLength != 0 {
+		b.Lengths = gatherNum(b.Lengths, bv.u[ColLength], sel)
+	}
+	if cols&ScanReturned != 0 {
+		b.Returns = gatherNum(b.Returns, bv.u[ColReturned], sel)
+	}
+	if cols&ScanFileSize != 0 {
+		b.FileSizes = gatherNum(b.FileSizes, bv.u[ColFileSize], sel)
+	}
+	if cols&ScanProc != 0 {
+		b.Procs = gatherNum(b.Procs, bv.u[ColProc], sel)
+	}
+	if cols&ScanFileID != 0 {
+		b.FileIDs = gatherNum(b.FileIDs, bv.u[ColFileID], sel)
+	}
+	if cols&ScanStatus != 0 {
+		b.Statuses = gatherNum(b.Statuses, bv.u[ColStatus], sel)
+	}
+	if cols&ScanFlags != 0 {
+		b.Flags = gatherNum(b.Flags, bv.u[ColFlags], sel)
+	}
+	if cols&ScanAnnot != 0 {
+		b.Annots = gatherNum(b.Annots, bv.u[ColAnnot], sel)
+	}
+	if cols&ScanFOFl != 0 {
+		b.FOFls = gatherNum(b.FOFls, bv.u[ColFOFl], sel)
+	}
+	if cols&ScanBytePos != 0 {
+		b.BytePositions = gatherNum(b.BytePositions, bv.u[ColBytePos], sel)
+	}
+	if cols&ScanDisposition != 0 {
+		b.Dispositions = gatherNum(b.Dispositions, bv.u[ColDisposition], sel)
+	}
+	if cols&ScanOptions != 0 {
+		b.Options = gatherNum(b.Options, bv.u[ColOptions], sel)
+	}
+	if cols&ScanAttributes != 0 {
+		b.Attributes = gatherNum(b.Attributes, bv.u[ColAttributes], sel)
+	}
+	if cols&ScanFsControl != 0 {
+		b.FsControls = gatherNum(b.FsControls, bv.u[ColFsControl], sel)
+	}
+	if cols&ScanName != 0 {
+		const nl = tracefmt.NameLen
+		switch {
+		case !bv.nameSparse && sel == nil:
+			b.Names = append(b.Names, bv.name...)
+		case !bv.nameSparse:
+			for _, r := range sel {
+				b.Names = append(b.Names, bv.name[int(r)*nl:(int(r)+1)*nl]...)
 			}
-			if cols&ScanStart != 0 {
-				out.Starts = append(out.Starts, sim.Time(st))
+		case sel == nil:
+			// Merge the sparse (position, blob) pairs against every row.
+			j := 0
+			for r := 0; r < bv.n; r++ {
+				if j < len(bv.namePos) && int(bv.namePos[j]) == r {
+					b.Names = append(b.Names, bv.nameBlobs[j*nl:(j+1)*nl]...)
+					j++
+				} else {
+					b.Names = append(b.Names, zeroName[:]...)
+				}
 			}
-			if cols&ScanEnd != 0 {
-				out.Ends = append(out.Ends, sim.Time(bv.u[ColEnd][r]))
-			}
-			if cols&ScanOffset != 0 {
-				out.Offsets = append(out.Offsets, int64(bv.u[ColOffset][r]))
-			}
-			if cols&ScanLength != 0 {
-				out.Lengths = append(out.Lengths, int32(int64(bv.u[ColLength][r])))
-			}
-			if cols&ScanReturned != 0 {
-				out.Returns = append(out.Returns, int32(int64(bv.u[ColReturned][r])))
-			}
-			if cols&ScanFileSize != 0 {
-				out.FileSizes = append(out.FileSizes, int64(bv.u[ColFileSize][r]))
-			}
-			if cols&ScanProc != 0 {
-				out.Procs = append(out.Procs, uint32(bv.u[ColProc][r]))
-			}
-			if cols&ScanFileID != 0 {
-				out.FileIDs = append(out.FileIDs, types.FileObjectID(bv.u[ColFileID][r]))
-			}
-			if cols&ScanStatus != 0 {
-				out.Statuses = append(out.Statuses, types.Status(int64(bv.u[ColStatus][r])))
-			}
-			if cols&ScanFlags != 0 {
-				out.Flags = append(out.Flags, types.IrpFlags(bv.u[ColFlags][r]))
-			}
-			if cols&ScanAnnot != 0 {
-				out.Annots = append(out.Annots, uint8(bv.u[ColAnnot][r]))
+		default:
+			// Both sel and namePos ascend: a two-pointer merge pairs each
+			// selected row with its blob, if any.
+			j := 0
+			for _, r := range sel {
+				for j < len(bv.namePos) && bv.namePos[j] < r {
+					j++
+				}
+				if j < len(bv.namePos) && bv.namePos[j] == r {
+					b.Names = append(b.Names, bv.nameBlobs[j*nl:(j+1)*nl]...)
+				} else {
+					b.Names = append(b.Names, zeroName[:]...)
+				}
 			}
 		}
 	}
-	return out, nil
+}
+
+// ScanColumns runs a column-projected scan: blocks are skipped via zone
+// maps, only the needed column payloads are decoded, and matching rows
+// are gathered into a Batch in stream order. It is the accumulate-all
+// form of Batches.
+func (s *Segment) ScanColumns(p Predicate, cols ColumnSet) (*Batch, error) {
+	it := s.Batches(p, cols)
+	defer it.Close()
+	out := &Batch{}
+	if len(p.Kinds) == 0 && p.MinStart == 0 && p.MaxStart == 0 {
+		// Every row matches: reserve the exact cardinality up front so
+		// the accumulate loop never re-grows a column.
+		out.Grow(cols, s.count)
+	}
+	for {
+		ok, err := it.Next(out)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+	}
 }
 
 // ScanRecords materializes full records matching the predicate, in
@@ -308,7 +618,10 @@ func (s *Segment) ScanRecords(p Predicate) ([]tracefmt.Record, error) {
 	if mask == 0 && p.MinStart == 0 && p.MaxStart == 0 {
 		out = make([]tracefmt.Record, 0, s.count)
 	}
-	var bv blockVals
+	sc := s.acquireScratch()
+	defer s.releaseScratch(sc)
+	sc.br.sc = sc
+	bv := &sc.bv
 	for i := range s.metas {
 		meta := &s.metas[i]
 		if p.skip(mask, meta) {
@@ -316,11 +629,10 @@ func (s *Segment) ScanRecords(p Predicate) ([]tracefmt.Record, error) {
 			continue
 		}
 		s.m.incScanned()
-		br, err := s.parseBlock(meta)
-		if err != nil {
+		if err := s.parseBlockInto(meta, &sc.br); err != nil {
 			return nil, err
 		}
-		if err := s.decodeBlockVals(br, &need, &bv); err != nil {
+		if err := s.decodeBlockVals(&sc.br, &need, bv); err != nil {
 			return nil, err
 		}
 		for r := 0; r < bv.n; r++ {
@@ -371,6 +683,18 @@ func (bv *blockVals) record(r int) tracefmt.Record {
 		Start:       sim.Time(bv.u[ColStart][r]),
 		End:         sim.Time(bv.u[ColEnd][r]),
 	}
-	copy(rec.Name[:], bv.name[r*tracefmt.NameLen:(r+1)*tracefmt.NameLen])
+	if !bv.nameSparse {
+		copy(rec.Name[:], bv.name[r*tracefmt.NameLen:(r+1)*tracefmt.NameLen])
+		return rec
+	}
+	// Callers rebuild rows in ascending r within a block, so a monotone
+	// cursor finds the sparse blob (records without one keep the zero
+	// name the struct literal left in place).
+	for bv.nameCur < len(bv.namePos) && int(bv.namePos[bv.nameCur]) < r {
+		bv.nameCur++
+	}
+	if bv.nameCur < len(bv.namePos) && int(bv.namePos[bv.nameCur]) == r {
+		copy(rec.Name[:], bv.nameBlobs[bv.nameCur*tracefmt.NameLen:(bv.nameCur+1)*tracefmt.NameLen])
+	}
 	return rec
 }

@@ -23,6 +23,12 @@ type Options struct {
 	// Metrics, when set, counts segments/blocks/bytes written and times
 	// block encodes. Nil is fully supported.
 	Metrics *Metrics
+	// NoCompress skips the per-column DEFLATE wrapper, storing every
+	// payload base-encoded. Segments grow, but scans decode them with
+	// zero steady-state allocation: stdlib flate rebuilds Huffman link
+	// tables on every dynamic block, which is the one per-block
+	// allocation the pooled decode scratch cannot absorb.
+	NoCompress bool
 }
 
 func (o Options) blockRecords() int {
@@ -140,7 +146,7 @@ func (w *Writer) flushBlock(recs []tracefmt.Record) error {
 		return err
 	}
 	start := time.Now()
-	payload, meta := encodeBlock(recs, &w.scratch)
+	payload, meta := encodeBlock(recs, &w.scratch, w.opts.NoCompress)
 	meta.offset = w.off
 	w.metas = append(w.metas, meta)
 	if err := w.writeAll(payload); err != nil {
@@ -346,6 +352,66 @@ func (sc *encScratch) encodeInts(vals []uint64) (tag byte, payload []byte) {
 	return best, out
 }
 
+// encodeName picks the name-column encoding: the raw blob, or the sparse
+// form when few enough records carry a name that listing (position,
+// blob) pairs is strictly smaller. Deterministic: sizes are exact and
+// the tie resolves to raw.
+func (sc *encScratch) encodeName(n int) (tag byte, payload []byte) {
+	sparseSize := 0
+	k := 0
+	prev := -1
+	for i := 0; i < n; i++ {
+		blob := sc.blob[i*tracefmt.NameLen : (i+1)*tracefmt.NameLen]
+		if isZero(blob) {
+			continue
+		}
+		gap := i - prev
+		if k == 0 {
+			gap = i // first position is absolute
+		}
+		sparseSize += uvarintLen(uint64(gap)) + tracefmt.NameLen
+		prev = i
+		k++
+	}
+	sparseSize += uvarintLen(uint64(k))
+	if sparseSize >= len(sc.blob) {
+		return encRaw, sc.blob
+	}
+	out := sc.cand2[:0]
+	out = binary.AppendUvarint(out, uint64(k))
+	prev = -1
+	first := true
+	for i := 0; i < n; i++ {
+		if isZero(sc.blob[i*tracefmt.NameLen : (i+1)*tracefmt.NameLen]) {
+			continue
+		}
+		if first {
+			out = binary.AppendUvarint(out, uint64(i))
+			first = false
+		} else {
+			out = binary.AppendUvarint(out, uint64(i-prev))
+		}
+		prev = i
+	}
+	for i := 0; i < n; i++ {
+		blob := sc.blob[i*tracefmt.NameLen : (i+1)*tracefmt.NameLen]
+		if !isZero(blob) {
+			out = append(out, blob...)
+		}
+	}
+	sc.cand2 = out
+	return encNameSparse, out
+}
+
+func isZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // deflate returns the DEFLATE form of p (BestSpeed, matching the row
 // store's compressor) or nil when compression would not shrink it.
 func (sc *encScratch) deflate(p []byte) []byte {
@@ -373,7 +439,7 @@ func (sc *encScratch) deflate(p []byte) []byte {
 
 // encodeBlock serialises one block: u32 record count, then per column a
 // tag byte, a u32 payload length and the payload.
-func encodeBlock(recs []tracefmt.Record, sc *encScratch) ([]byte, blockMeta) {
+func encodeBlock(recs []tracefmt.Record, sc *encScratch, noCompress bool) ([]byte, blockMeta) {
 	sc.extract(recs)
 	out := make([]byte, 0, len(recs)*20+NumColumns*5+4)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(recs)))
@@ -381,13 +447,15 @@ func encodeBlock(recs []tracefmt.Record, sc *encScratch) ([]byte, blockMeta) {
 		var tag byte
 		var payload []byte
 		if c == ColName {
-			tag, payload = encRaw, sc.blob
+			tag, payload = sc.encodeName(len(recs))
 		} else {
 			tag, payload = sc.encodeInts(sc.vals[c])
 		}
-		if fl := sc.deflate(payload); fl != nil {
-			tag |= encFlateBit
-			payload = fl
+		if !noCompress {
+			if fl := sc.deflate(payload); fl != nil {
+				tag |= encFlateBit
+				payload = fl
+			}
 		}
 		out = append(out, tag)
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))

@@ -165,11 +165,12 @@ func TestColstoreLoadPrefersSegments(t *testing.T) {
 	}
 	for i, mt := range bothDS.Machines {
 		rmt := rowDS.Machines[i]
-		if mt.Name != rmt.Name || len(mt.Records) != len(rmt.Records) {
-			t.Fatalf("machine %d: %s/%d records vs %s/%d", i, mt.Name, len(mt.Records), rmt.Name, len(rmt.Records))
+		rows := mt.Rows()
+		if mt.Name != rmt.Name || len(rows) != len(rmt.Records) {
+			t.Fatalf("machine %d: %s/%d records vs %s/%d", i, mt.Name, len(rows), rmt.Name, len(rmt.Records))
 		}
-		for j := range mt.Records {
-			if mt.Records[j] != rmt.Records[j] {
+		for j := range rows {
+			if rows[j] != rmt.Records[j] {
 				t.Fatalf("%s: record %d differs between layouts", mt.Name, j)
 			}
 		}
@@ -240,5 +241,79 @@ func TestColstoreCheckpointResume(t *testing.T) {
 	}
 	if segFiles == 0 {
 		t.Fatal("columnar study saved no segments")
+	}
+}
+
+// renderEverything concatenates every report artefact except the cache
+// sweep (a replay simulation, not a compute kernel) — the full
+// observable output the vectorized kernels must reproduce.
+func renderEverything(r *report.Results) string {
+	var b strings.Builder
+	for _, f := range []func() string{
+		r.Table1, r.Table2, r.Table3, r.Figure1, r.Figure2, r.Figure3,
+		r.Figure4, r.Figure5, r.Figure6, r.Figure7, r.Figure8, r.Figure9,
+		r.Figure10, r.Figure11, r.Figure12, r.Figure13, r.Figure14,
+		r.Section6Lifetimes, r.Section7SelfSim, r.Section8, r.Section9,
+		r.Section10, r.ProcessView, r.TypeView, r.FollowUps,
+	} {
+		b.WriteString(f())
+	}
+	return b.String()
+}
+
+// TestColumnarComputeByteIdentical is the kernel-equivalence proof: one
+// corpus saved in both layouts, recomputed at every compute worker
+// count, must render every table, figure and section byte-identically.
+// The row layout drives the record-slice kernels; the columnar layout
+// drives the vectorized twins over batch-scanned column vectors without
+// ever materializing rows. Each (layout, workers) pass reloads the
+// directory so no lazily derived state carries over between passes.
+func TestColumnarComputeByteIdentical(t *testing.T) {
+	st := NewStudy(Config{
+		Seed: 29, Machines: 6, Duration: 30 * sim.Minute,
+		WithNetwork: true, Workers: 8,
+	})
+	if err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rowDir, colDir := t.TempDir(), t.TempDir()
+	if err := st.Save(rowDir); err != nil {
+		t.Fatal(err)
+	}
+	st.Cfg.Columnar = true
+	if err := st.Save(colDir); err != nil {
+		t.Fatal(err)
+	}
+
+	var want string
+	for _, layout := range []struct {
+		name     string
+		dir      string
+		columnar bool
+	}{
+		{"row", rowDir, false},
+		{"columnar", colDir, true},
+	} {
+		for _, workers := range []int{1, 4, 8} {
+			c, err := LoadCorpus(layout.dir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if layout.columnar && len(c.Segments) != len(c.DS.Machines) {
+				t.Fatalf("columnar layout loaded %d segments for %d machines", len(c.Segments), len(c.DS.Machines))
+			}
+			if !layout.columnar && len(c.Segments) != 0 {
+				t.Fatalf("row layout loaded %d segments, want 0", len(c.Segments))
+			}
+			got := renderEverything(report.ComputeWorkers(c.DS, workers))
+			if got == "" {
+				t.Fatalf("%s layout rendered an empty report", layout.name)
+			}
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Fatalf("%s layout at %d compute workers rendered a different report", layout.name, workers)
+			}
+		}
 	}
 }

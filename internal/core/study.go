@@ -153,6 +153,7 @@ type Study struct {
 	mObs        *machine.Obs
 	decodeHist  *obs.Histogram
 	computeHist *obs.Histogram
+	kernelObs   *report.KernelTimers
 	colMetrics  *colstore.Metrics
 }
 
@@ -243,6 +244,7 @@ func NewStudy(cfg Config) *Study {
 			"Wall-clock microseconds to decode one machine's trace stream.")
 		s.computeHist = cfg.Obs.Histogram("report_compute_machine_us",
 			"Wall-clock microseconds to derive one machine's measures.")
+		s.kernelObs = report.NewKernelTimers(cfg.Obs)
 		cfg.Obs.Gauge("study_machines", "Planned fleet size of the study.").Set(int64(cfg.Machines))
 		cfg.Obs.Gauge("study_duration_ticks", "Configured traced period in 100ns ticks.").Set(int64(cfg.Duration))
 	}
@@ -551,7 +553,7 @@ func (s *Study) Results() (*report.Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return report.ComputeWorkersObs(ds, runtime.GOMAXPROCS(0), s.computeHist), nil
+	return report.ComputeWorkersTimed(ds, runtime.GOMAXPROCS(0), s.computeHist, s.kernelObs), nil
 }
 
 // TotalEvents reports collected record counts across machines.

@@ -219,6 +219,27 @@ func scanRows(recs []tracefmt.Record, p colstore.Predicate, cols colstore.Column
 		if cols&colstore.ScanAnnot != 0 {
 			out.Annots = append(out.Annots, r.Annot)
 		}
+		if cols&colstore.ScanFOFl != 0 {
+			out.FOFls = append(out.FOFls, r.FOFl)
+		}
+		if cols&colstore.ScanBytePos != 0 {
+			out.BytePositions = append(out.BytePositions, r.BytePos)
+		}
+		if cols&colstore.ScanDisposition != 0 {
+			out.Dispositions = append(out.Dispositions, r.Disposition)
+		}
+		if cols&colstore.ScanOptions != 0 {
+			out.Options = append(out.Options, r.Options)
+		}
+		if cols&colstore.ScanAttributes != 0 {
+			out.Attributes = append(out.Attributes, r.Attributes)
+		}
+		if cols&colstore.ScanFsControl != 0 {
+			out.FsControls = append(out.FsControls, r.FsControl)
+		}
+		if cols&colstore.ScanName != 0 {
+			out.Names = append(out.Names, r.Name[:]...)
+		}
 	}
 	return out
 }

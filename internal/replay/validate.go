@@ -56,8 +56,9 @@ func Measure(ds *analysis.DataSet) Metrics {
 		}
 		holds = append(holds, analysis.HoldTimes(ins, analysis.DataSessions)...)
 
-		for i := range mt.Records {
-			r := &mt.Records[i]
+		recs := mt.Rows()
+		for i := range recs {
+			r := &recs[i]
 			if r.FileID >= tracefmt.PagingObjectIDBase || !analysis.IsDataTransfer(r) {
 				continue
 			}

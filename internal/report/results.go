@@ -69,17 +69,72 @@ func ComputeWorkers(ds *analysis.DataSet, workers int) *Results {
 // per machine — the analysis-side instrumentation hook. A nil histogram
 // adds no timing calls, and timing never alters the computed results.
 func ComputeWorkersObs(ds *analysis.DataSet, workers int, perMachine *obs.Histogram) *Results {
+	return ComputeWorkersTimed(ds, workers, perMachine, nil)
+}
+
+// KernelTimers are the per-kernel wall-clock histograms of the compute
+// fan-out: each receives one observation (microseconds) per machine per
+// kernel, splitting report_compute_machine_us by measure. A nil
+// *KernelTimers is a complete no-op.
+type KernelTimers struct {
+	Instances *obs.Histogram
+	Lifetimes *obs.Histogram
+	Controls  *obs.Histogram
+	Cache     *obs.Histogram
+	Reuse     *obs.Histogram
+	FastIO    *obs.Histogram
+}
+
+// NewKernelTimers builds the bundle on r (nil registry yields nil).
+func NewKernelTimers(r *obs.Registry) *KernelTimers {
+	if r == nil {
+		return nil
+	}
+	return &KernelTimers{
+		Instances: r.Histogram("report_kernel_instances_us", "Wall-clock microseconds building one machine's instance table."),
+		Lifetimes: r.Histogram("report_kernel_lifetimes_us", "Wall-clock microseconds for one machine's lifetime scan."),
+		Controls:  r.Histogram("report_kernel_controls_us", "Wall-clock microseconds for one machine's control statistics."),
+		Cache:     r.Histogram("report_kernel_cache_us", "Wall-clock microseconds for one machine's cache measures."),
+		Reuse:     r.Histogram("report_kernel_reuse_us", "Wall-clock microseconds for one machine's reuse statistics."),
+		FastIO:    r.Histogram("report_kernel_fastio_us", "Wall-clock microseconds for one machine's FastIO shares."),
+	}
+}
+
+// ComputeWorkersTimed is ComputeWorkersObs plus optional per-kernel
+// timing. Timing never alters the computed results.
+func ComputeWorkersTimed(ds *analysis.DataSet, workers int, perMachine *obs.Histogram, kt *KernelTimers) *Results {
 	slots := make([]machineMeasures, len(ds.Machines))
 	measure := func(i int) {
 		mt := ds.Machines[i]
 		m := &slots[i]
 		start := time.Now()
-		m.ins = mt.Instances()
-		m.lt = analysis.Lifetimes(mt)
-		m.c = analysis.Controls(mt, m.ins)
-		m.cm = analysis.Cache(mt, m.ins)
-		m.ru = analysis.Reuse(m.ins)
-		m.rs, m.ws = analysis.FastIOShares(mt)
+		if kt == nil {
+			m.ins = mt.Instances()
+			m.lt = analysis.Lifetimes(mt)
+			m.c = analysis.Controls(mt, m.ins)
+			m.cm = analysis.Cache(mt, m.ins)
+			m.ru = analysis.Reuse(m.ins)
+			m.rs, m.ws = analysis.FastIOShares(mt)
+		} else {
+			t0 := start
+			m.ins = mt.Instances()
+			t1 := time.Now()
+			kt.Instances.ObserveWall(t1.Sub(t0))
+			m.lt = analysis.Lifetimes(mt)
+			t2 := time.Now()
+			kt.Lifetimes.ObserveWall(t2.Sub(t1))
+			m.c = analysis.Controls(mt, m.ins)
+			t3 := time.Now()
+			kt.Controls.ObserveWall(t3.Sub(t2))
+			m.cm = analysis.Cache(mt, m.ins)
+			t4 := time.Now()
+			kt.Cache.ObserveWall(t4.Sub(t3))
+			m.ru = analysis.Reuse(m.ins)
+			t5 := time.Now()
+			kt.Reuse.ObserveWall(t5.Sub(t4))
+			m.rs, m.ws = analysis.FastIOShares(mt)
+			kt.FastIO.ObserveWall(time.Since(t5))
+		}
 		perMachine.ObserveWall(time.Since(start))
 	}
 	if workers <= 1 {
@@ -234,7 +289,7 @@ func (r *Results) HoldCDF(pred func(*analysis.Instance) bool) *stats.CDF {
 func (r *Results) OpenGapSampleMachine() *analysis.MachineTrace {
 	var best *analysis.MachineTrace
 	for _, mt := range r.DS.Machines {
-		if best == nil || len(mt.Records) > len(best.Records) {
+		if best == nil || mt.Len() > best.Len() {
 			best = mt
 		}
 	}
@@ -245,7 +300,7 @@ func (r *Results) OpenGapSampleMachine() *analysis.MachineTrace {
 func (r *Results) TotalRecords() int {
 	n := 0
 	for _, mt := range r.DS.Machines {
-		n += len(mt.Records)
+		n += mt.Len()
 	}
 	return n
 }
@@ -256,13 +311,13 @@ func (r *Results) Duration() sim.Duration {
 	var lo, hi sim.Time
 	first := true
 	for _, mt := range r.DS.Machines {
-		if len(mt.Records) == 0 {
+		if mt.Len() == 0 {
 			continue
 		}
-		if t := mt.Records[0].Start; first || t < lo {
+		if t := mt.FirstStart(); first || t < lo {
 			lo = t
 		}
-		if t := mt.Records[len(mt.Records)-1].Start; first || t > hi {
+		if t := mt.LastStart(); first || t > hi {
 			hi = t
 		}
 		first = false

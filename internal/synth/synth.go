@@ -186,8 +186,9 @@ func Fit(ds *analysis.DataSet) Profile {
 				sessionBytes = append(sessionBytes, float64(in.Bytes()))
 			}
 		}
-		for i := range mt.Records {
-			r := &mt.Records[i]
+		recs := mt.Rows()
+		for i := range recs {
+			r := &recs[i]
 			if !analysis.IsDataTransfer(r) {
 				continue
 			}
