@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/replay"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -733,5 +734,44 @@ func BenchmarkObsHotPath(b *testing.B) {
 				i++
 			}
 		})
+	})
+}
+
+// BenchmarkSpanHotPath measures the tracer on its hot paths. The no-op
+// path (nil tracer) sits on every instrumented call site when tracing is
+// off, so it must be allocation-free and nanosecond-scale; the live path
+// pays a couple of allocations per span (the span itself and its slot in
+// the trace's span list) and is bounded so instrumented stages stay
+// microsecond-cheap.
+func BenchmarkSpanHotPath(b *testing.B) {
+	b.Run("noop", func(b *testing.B) {
+		var tr *trace.Tracer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.StartTrace("bench", "noop", trace.ID(1), nil)
+			c := sp.Child("stage")
+			c.AnnotateInt("n", int64(i))
+			c.Finish()
+			sp.Finish()
+		}
+	})
+	b.Run("child", func(b *testing.B) {
+		tr := trace.New(trace.Config{Recent: 64})
+		root := tr.StartTrace("bench", "root", trace.ID(2), nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := root.Child("stage")
+			c.Finish()
+		}
+	})
+	b.Run("trace", func(b *testing.B) {
+		tr := trace.New(trace.Config{Recent: 64})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.StartTrace("bench", "root", trace.MixID(trace.ID(3), uint64(i)), nil)
+			c := sp.Child("stage")
+			c.Finish()
+			sp.Finish()
+		}
 	})
 }

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 )
 
@@ -63,22 +64,29 @@ func main() {
 		collAddr = flag.String("collect", "", "ship trace streams to a live collection server at this address (corpus lives server-side)")
 		spill    = flag.Int("spill", 0, "per-agent spill-ring capacity in buffers for -collect (0 = default 64)")
 		serve    = flag.String("serve", "", "run as a collection server on this listen address (with -out; fleet flags ignored)")
-		metrics  = flag.String("metrics-addr", "", "serve live Prometheus-text /metrics and /debug/pprof on this address")
+		metrics  = flag.String("metrics-addr", "", "serve live Prometheus-text /metrics, /debug/spans and /debug/pprof on this address")
+		traceOut = flag.String("trace-out", "", "write the run's span trees as Chrome trace_event JSON here (load in Perfetto)")
 		top      = flag.Bool("top", false, "repaint a top(1)-style per-shard view instead of one-line progress")
 	)
 	flag.Parse()
 
 	// One registry instruments the whole process (fleet run or collection
-	// server). Metrics are observational only: the corpus is byte-identical
-	// with or without them.
+	// server). Metrics and spans are observational only: the corpus is
+	// byte-identical with or without them. Shard spans ride the virtual
+	// clock, so the tracer costs nothing on the simulated timeline.
 	reg := obs.NewRegistry()
+	var tracer *trace.Tracer
+	if *traceOut != "" || *metrics != "" {
+		tracer = trace.New(trace.Config{})
+	}
 	if *metrics != "" {
-		ms, err := obs.Serve(*metrics, reg)
+		ms, err := obs.Serve(*metrics, reg,
+			obs.Mount{Pattern: "/debug/spans", Handler: tracer.Handler()})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer ms.Close()
-		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ms.Addr)
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (spans on /debug/spans, pprof on /debug/pprof/)\n", ms.Addr)
 	}
 
 	if *serve != "" {
@@ -110,7 +118,29 @@ func main() {
 		CollectAddr:     *collAddr,
 		NetSink:         agent.NetSinkConfig{SpillSlots: *spill},
 		Obs:             reg,
+		Trace:           tracer,
 	})
+
+	// writeTrace exports whatever spans exist so far; it runs on the
+	// interrupt path too, so a killed run still leaves an inspectable
+	// trace beside its checkpoints.
+	writeTrace := func() {
+		if *traceOut == "" {
+			return
+		}
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tracer.WriteTraceEvents(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: trace out: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote span trace to %s\n", *traceOut)
+	}
 
 	st := study.Engine.Status()
 	fmt.Fprintf(os.Stderr, "fleet of %d machines, %.1f simulated days, %d workers (seed %d)\n",
@@ -167,6 +197,7 @@ func main() {
 			if *ckptDir != "" && st.Done+st.Restored > 0 {
 				fmt.Fprintf(os.Stderr, "re-run with -resume -checkpoint-dir %s to continue\n", *ckptDir)
 			}
+			writeTrace()
 			os.Exit(130)
 		}
 		log.Fatal(err)
@@ -180,6 +211,7 @@ func main() {
 	if err := reg.WriteSnapshot(filepath.Join(*out, "obs.json")); err != nil {
 		fmt.Fprintf(os.Stderr, "warning: obs snapshot: %v\n", err)
 	}
+	writeTrace()
 
 	if *collAddr != "" {
 		// The corpus lives on the collection server; report delivery

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/query"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	maxQueue := flag.Int("max-queue", 32, "requests allowed to queue for a slot")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful drain bound on SIGTERM")
+	slowMS := flag.Int64("slow-ms", 1000, "log requests slower than this many ms with their stage breakdown (0 disables)")
 	load := flag.Bool("load", false, "run the built-in load generator against this process, then exit")
 	loadClients := flag.Int("load-clients", 16, "load generator: concurrent clients")
 	loadRequests := flag.Int("load-requests", 200, "load generator: requests per client")
@@ -51,7 +53,8 @@ func main() {
 	flag.Parse()
 
 	reg := obs.NewRegistry()
-	corpus, err := query.OpenCorpus(*dir, reg)
+	tracer := trace.New(trace.Config{})
+	corpus, err := query.OpenCorpusTrace(*dir, reg, tracer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,17 +65,20 @@ func main() {
 		MaxQueue:    *maxQueue,
 		Timeout:     *timeout,
 		Obs:         reg,
+		Tracer:      tracer,
+		SlowMS:      *slowMS,
 	})
 
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/spans", tracer.Handler())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)

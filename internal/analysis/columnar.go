@@ -9,6 +9,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/ntos/machine"
 	"repro/internal/ntos/types"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/tracefmt"
 )
@@ -32,6 +33,15 @@ var streamBatchPool = sync.Pool{New: func() any { return &colstore.Batch{} }}
 // sort.SliceStable produces on a row decode, so both paths yield
 // identical indexes, instance tables and figures.
 func NewMachineTraceColumnar(name string, cat machine.Category, seg *colstore.Segment) (*MachineTrace, error) {
+	return NewMachineTraceColumnarSpan(name, cat, seg, nil)
+}
+
+// NewMachineTraceColumnarSpan is NewMachineTraceColumnar with its stages
+// — batch scan, stable argsort, column gather — recorded as child spans
+// of parent (nil parent traces nothing; the construction is identical
+// either way).
+func NewMachineTraceColumnarSpan(name string, cat machine.Category, seg *colstore.Segment, parent *trace.Span) (*MachineTrace, error) {
+	scan := parent.Child("scan")
 	sb := streamBatchPool.Get().(*colstore.Batch)
 	sb.Reset()
 	it := seg.Batches(colstore.Predicate{}, colstore.ScanAllNumeric)
@@ -40,17 +50,21 @@ func NewMachineTraceColumnar(name string, cat machine.Category, seg *colstore.Se
 		if err != nil {
 			it.Close()
 			streamBatchPool.Put(sb)
+			scan.Finish()
 			return nil, fmt.Errorf("analysis: %s: %w", name, err)
 		}
 		if !ok {
 			break
 		}
 	}
+	scan.AnnotateInt("rows", int64(sb.N))
+	scan.Finish()
 
 	// Stable argsort by start time. Trace buffers from different volumes
 	// interleave at flush granularity, so the stream is near-sorted and
 	// the permutation near-identity; stability preserves flush order
 	// among equal timestamps, matching the row path's SliceStable.
+	argsort := parent.Child("argsort")
 	var perm []int32
 	if !startsSorted(sb.Starts) {
 		perm = make([]int32, sb.N)
@@ -58,9 +72,15 @@ func NewMachineTraceColumnar(name string, cat machine.Category, seg *colstore.Se
 			perm[i] = int32(i)
 		}
 		sort.SliceStable(perm, func(a, b int) bool { return sb.Starts[perm[a]] < sb.Starts[perm[b]] })
+	} else {
+		argsort.Annotate("sorted", "already")
 	}
+	argsort.Finish()
+
+	gather := parent.Child("gather")
 	tab := permutedBatch(sb, perm)
 	streamBatchPool.Put(sb)
+	gather.Finish()
 
 	return &MachineTrace{
 		Name:     name,

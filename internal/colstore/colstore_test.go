@@ -234,6 +234,59 @@ func TestTimePushdown(t *testing.T) {
 	}
 }
 
+// TestScanStats pins the per-scan block ledger: ScanColumnsStats
+// reports exactly the blocks this one scan skipped and decoded, agreeing
+// with the deltas of the global counters that aggregate across scans.
+func TestScanStats(t *testing.T) {
+	recs := genRecords(20000, 13)
+	data, _, err := EncodeSegment(recs, Options{BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(obs.NewRegistry())
+	seg, err := OpenSegment(data, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hi sim.Time
+	for _, r := range recs {
+		if r.Start > hi {
+			hi = r.Start
+		}
+	}
+	scanned0, skipped0 := m.BlocksScanned.Value(), m.BlocksSkipped.Value()
+	_, st, err := seg.ScanColumnsStats(Predicate{MinStart: hi / 4, MaxStart: hi / 2}, ScanStart|ScanLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksSkipped == 0 || st.BlocksScanned == 0 {
+		t.Fatalf("windowed scan stats = %+v, want both nonzero", st)
+	}
+	if got := m.BlocksScanned.Value() - scanned0; got != uint64(st.BlocksScanned) {
+		t.Errorf("global scanned delta %d != per-scan %d", got, st.BlocksScanned)
+	}
+	if got := m.BlocksSkipped.Value() - skipped0; got != uint64(st.BlocksSkipped) {
+		t.Errorf("global skipped delta %d != per-scan %d", got, st.BlocksSkipped)
+	}
+	// A second full scan's ledger is independent of the first scan.
+	_, st2, err := seg.ScanColumnsStats(Predicate{}, ScanStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.BlocksSkipped != 0 {
+		t.Errorf("full scan skipped %d blocks", st2.BlocksSkipped)
+	}
+	if st2.BlocksScanned != st.BlocksScanned+st.BlocksSkipped {
+		t.Errorf("full scan decoded %d blocks, want %d", st2.BlocksScanned, st.BlocksScanned+st.BlocksSkipped)
+	}
+	var sum ScanStats
+	sum.Add(st)
+	sum.Add(st2)
+	if sum.BlocksScanned != st.BlocksScanned+st2.BlocksScanned {
+		t.Errorf("Add: %+v", sum)
+	}
+}
+
 // TestColumnProjection pins the narrow path: a two-column batch agrees
 // with full records and decodes only the requested column families.
 func TestColumnProjection(t *testing.T) {

@@ -76,8 +76,8 @@ func FuzzBlockFooter(f *testing.F) {
 	f.Add(data, len(data)/2, byte(0x10))
 	f.Add([]byte(Magic+Magic), -1, byte(0))
 	foot := len(data) - len(Magic) - 4
-	f.Add(data, foot, byte(0xff))     // footer length field
-	f.Add(data, foot-10, byte(0x01))  // block meta
+	f.Add(data, foot, byte(0xff))         // footer length field
+	f.Add(data, foot-10, byte(0x01))      // block meta
 	f.Add(data, len(Magic)+2, byte(0x80)) // first block header
 	f.Fuzz(func(t *testing.T, raw []byte, flip int, mask byte) {
 		mut := append([]byte(nil), raw...)

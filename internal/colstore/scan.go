@@ -309,6 +309,8 @@ type BlockScanner struct {
 	sc       *decodeScratch
 	start    time.Time
 	done     bool
+	scanned  int
+	skipped  int
 }
 
 // Batches starts a streaming scan: blocks are skipped via zone maps,
@@ -340,9 +342,11 @@ func (it *BlockScanner) Next(b *Batch) (bool, error) {
 		it.idx++
 		if it.p.skip(it.mask, meta) {
 			s.m.incSkipped()
+			it.skipped++
 			continue
 		}
 		s.m.incScanned()
+		it.scanned++
 		sc := it.sc
 		if err := s.parseBlockInto(meta, &sc.br); err != nil {
 			it.finish()
@@ -362,6 +366,27 @@ func (it *BlockScanner) Next(b *Batch) (bool, error) {
 // Close releases the scanner's pooled scratch. Safe to call more than
 // once or after Next reported exhaustion.
 func (it *BlockScanner) Close() { it.finish() }
+
+// ScanStats is the per-scan block ledger: how many blocks the zone maps
+// eliminated versus decoded. The global Metrics counters aggregate the
+// same events across all scans; this is the single-scan view that span
+// annotations and query responses attribute to one request.
+type ScanStats struct {
+	BlocksScanned int
+	BlocksSkipped int
+}
+
+// Add accumulates another scan's ledger (the multi-segment case).
+func (st *ScanStats) Add(o ScanStats) {
+	st.BlocksScanned += o.BlocksScanned
+	st.BlocksSkipped += o.BlocksSkipped
+}
+
+// Stats reports the blocks this scanner has skipped and decoded so far
+// (complete once Next has reported false).
+func (it *BlockScanner) Stats() ScanStats {
+	return ScanStats{BlocksScanned: it.scanned, BlocksSkipped: it.skipped}
+}
 
 func (it *BlockScanner) finish() {
 	if it.done {
@@ -583,6 +608,13 @@ func (it *BlockScanner) appendBlock(b *Batch, bv *blockVals) {
 // are gathered into a Batch in stream order. It is the accumulate-all
 // form of Batches.
 func (s *Segment) ScanColumns(p Predicate, cols ColumnSet) (*Batch, error) {
+	b, _, err := s.ScanColumnsStats(p, cols)
+	return b, err
+}
+
+// ScanColumnsStats is ScanColumns plus the per-scan block ledger, for
+// callers that attribute pushdown effectiveness to a single request.
+func (s *Segment) ScanColumnsStats(p Predicate, cols ColumnSet) (*Batch, ScanStats, error) {
 	it := s.Batches(p, cols)
 	defer it.Close()
 	out := &Batch{}
@@ -594,10 +626,10 @@ func (s *Segment) ScanColumns(p Predicate, cols ColumnSet) (*Batch, error) {
 	for {
 		ok, err := it.Next(out)
 		if err != nil {
-			return nil, err
+			return nil, it.Stats(), err
 		}
 		if !ok {
-			return out, nil
+			return out, it.Stats(), nil
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/ntos/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/snapshot"
 )
 
@@ -127,6 +128,13 @@ func LoadObs(dir string, reg *obs.Registry) (*analysis.DataSet, []*snapshot.Snap
 // DataSet, so callers that serve both decoded analyses and raw pushdown
 // scans (the query service) load the directory exactly once.
 func LoadCorpus(dir string, reg *obs.Registry) (*Corpus, error) {
+	return LoadCorpusTrace(dir, reg, nil)
+}
+
+// LoadCorpusTrace is LoadCorpus with per-machine load tracing: each
+// columnar machine's scan/argsort/gather stages record as a span tree on
+// tr (nil tr loads identically and traces nothing).
+func LoadCorpusTrace(dir string, reg *obs.Registry, tr *trace.Tracer) (*Corpus, error) {
 	segs, err := collect.LoadColumnarDir(dir, colstore.NewMetrics(reg))
 	if err != nil {
 		return nil, err
@@ -173,7 +181,9 @@ func LoadCorpus(dir string, reg *obs.Registry) (*Corpus, error) {
 	for _, name := range names {
 		var mt *analysis.MachineTrace
 		if seg := segs[name]; seg != nil {
-			mt, err = analysis.NewMachineTraceColumnar(name, cats[name], seg)
+			sp := tr.StartTrace("load", name, trace.HashID("load", name), nil)
+			mt, err = analysis.NewMachineTraceColumnarSpan(name, cats[name], seg, sp)
+			sp.Finish()
 			if err != nil {
 				return nil, err
 			}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/ntos/machine"
 	"repro/internal/ntos/volume"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -91,6 +92,13 @@ type Config struct {
 	// registry. Instrumentation is purely observational: the collected
 	// corpus is byte-identical with Obs set or nil.
 	Obs *obs.Registry
+	// Trace, when set, records span trees for the fleet shards (virtual
+	// timelines), the per-machine decode passes and the compute kernels
+	// (wall timelines). Like Obs, it is purely observational: tracing on
+	// or off leaves reports and stream SHAs byte-identical, and trace
+	// IDs derive from shard/machine identity, so two traced runs of the
+	// same seed record the same IDs.
+	Trace *trace.Tracer
 }
 
 // categoryMix is the §2 fleet composition, proportions of 45.
@@ -255,6 +263,7 @@ func NewStudy(cfg Config) *Study {
 		Remote:        cfg.CollectAddr != "",
 		Columnar:      cfg.Columnar,
 		Obs:           cfg.Obs,
+		Tracer:        cfg.Trace,
 	}, s.Store)
 
 	s.specs = fleetSpecs(cfg.Machines)
@@ -492,6 +501,9 @@ func (s *Study) DataSetWorkers(workers int) (*analysis.DataSet, error) {
 		start := time.Now()
 		defer func() { s.decodeHist.ObserveWall(time.Since(start)) }()
 		sp := s.specs[i]
+		dsp := s.Cfg.Trace.StartTrace("decode", sp.name,
+			trace.HashID("decode", sp.name), nil)
+		defer dsp.Finish()
 		recs, err := s.Store.Records(sp.name)
 		if errors.Is(err, collect.ErrNoRecords) {
 			// A machine may legitimately have produced no records.
@@ -501,6 +513,7 @@ func (s *Study) DataSetWorkers(workers int) (*analysis.DataSet, error) {
 			slots[i].err = fmt.Errorf("core: %s: %w", sp.name, err)
 			return
 		}
+		dsp.AnnotateInt("records", int64(len(recs)))
 		// Records hands over a freshly decoded slice nothing else holds,
 		// so the trace can take ownership instead of copying.
 		mt := analysis.NewMachineTraceOwned(sp.name, sp.cat, recs)
@@ -553,7 +566,7 @@ func (s *Study) Results() (*report.Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return report.ComputeWorkersTimed(ds, runtime.GOMAXPROCS(0), s.computeHist, s.kernelObs), nil
+	return report.ComputeWorkersTrace(ds, runtime.GOMAXPROCS(0), s.computeHist, s.kernelObs, s.Cfg.Trace), nil
 }
 
 // TotalEvents reports collected record counts across machines.

@@ -28,6 +28,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/colstore"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/tracefmt"
@@ -97,6 +98,11 @@ type Config struct {
 	// refreshed on every gather. The gauges exist either way — they ARE
 	// the engine's progress bookkeeping (Status is a view over them).
 	Obs *obs.Registry
+	// Tracer, when set, records one span tree per shard — run, finish,
+	// collect-ship, checkpoint — on the shard's own virtual timeline
+	// (sched.Now reads only, so tracing never perturbs the simulation),
+	// with wall-clock and straggler annotations added after the run.
+	Tracer *trace.Tracer
 }
 
 // shard states.
@@ -130,6 +136,10 @@ type shard struct {
 	// Written by the owning worker (or Restore) and read after Run.
 	snaps     []*snapshot.Snapshot
 	procNames map[uint32]string
+
+	// span is the shard's root trace span, kept so the engine can add
+	// post-run annotations (wall time, straggler) to the sealed trace.
+	span *trace.Span
 }
 
 // Restored is what a checkpoint gives back for a completed shard.
@@ -378,6 +388,7 @@ func (e *Engine) Run(ctx context.Context) error {
 		}()
 	}
 	wg.Wait()
+	e.annotateStragglers()
 	// Interrupted and failed runs leave telemetry too — that is when it
 	// is most wanted.
 	e.writeObsSnapshot()
@@ -387,11 +398,54 @@ func (e *Engine) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// annotateStragglers marks, on each completed shard's sealed trace, the
+// shards whose wall time exceeded 1.5× the fleet mean — the outliers a
+// scheduler investigation starts from. Post-finish annotation is cheap
+// and the virtual timelines stay untouched.
+func (e *Engine) annotateStragglers() {
+	if e.cfg.Tracer == nil {
+		return
+	}
+	type done struct {
+		sh   *shard
+		wall int64
+	}
+	var ds []done
+	var total int64
+	for _, sh := range e.ordered() {
+		if sh.span == nil || sh.state.Load() != stateDone {
+			continue
+		}
+		w := sh.ended.Value() - sh.started.Value()
+		ds = append(ds, done{sh, w})
+		total += w
+	}
+	if len(ds) == 0 {
+		return
+	}
+	mean := total / int64(len(ds))
+	for _, d := range ds {
+		d.sh.span.AnnotateInt("wall_ms", d.wall/1e6)
+		if d.wall > mean+mean/2 {
+			d.sh.span.Annotate("straggler", "true")
+		}
+	}
+}
+
 // runShard drives one machine from virtual time zero to the configured
 // duration in slices, then finalizes and checkpoints it.
 func (e *Engine) runShard(ctx context.Context, sh *shard) error {
 	sh.started.Set(time.Now().UnixNano())
 	sh.state.Store(stateRunning)
+	// The shard trace lives on the shard's own virtual timeline (clock
+	// reads only — Scheduler.Now never advances anything) and its ID is
+	// derived from the shard identity, so two runs of the same study
+	// produce the same trace IDs and the same virtual span layout.
+	root := e.cfg.Tracer.StartTrace("shard", sh.spec.Name,
+		trace.HashID("shard", sh.spec.Name, sh.spec.Fingerprint),
+		func() int64 { return int64(sh.sched.Now()) * 100 })
+	sh.span = root
+	run := root.Child("run")
 	if sh.hooks.Start != nil {
 		sh.hooks.Start()
 	}
@@ -409,23 +463,39 @@ func (e *Engine) runShard(ctx context.Context, sh *shard) error {
 		sh.simNow.Set(int64(sh.sched.Now()))
 		sh.events.Set(int64(sh.sched.Ran()))
 	}
+	run.AnnotateInt("events", sh.events.Value())
+	run.Finish()
+	finish := root.Child("finish")
 	if sh.hooks.Finish != nil {
 		sh.hooks.Finish()
 	}
 	sh.sched.RunUntil(deadline.Add(e.cfg.Drain))
 	sh.simNow.Set(int64(deadline))
 	sh.events.Set(int64(sh.sched.Ran()))
+	finish.Finish()
 
+	seal := func(outcome string) {
+		root.AnnotateInt("records", sh.records.Value())
+		if outcome != "" {
+			root.Annotate("outcome", outcome)
+		}
+		root.Finish()
+	}
+	ship := root.Child("collect-ship")
 	if sh.hooks.Close != nil {
 		if err := sh.hooks.Close(); err != nil {
+			ship.Finish()
+			seal("close-failed")
 			sh.state.Store(stateFailed)
 			return fmt.Errorf("fleet: shard %q: close: %w", sh.spec.Name, err)
 		}
 	}
+	ship.Finish()
 	sh.appendMu.Lock()
 	appendErr := sh.appendErr
 	sh.appendMu.Unlock()
 	if appendErr != nil {
+		seal("append-failed")
 		sh.state.Store(stateFailed)
 		return fmt.Errorf("fleet: shard %q: %w", sh.spec.Name, appendErr)
 	}
@@ -433,17 +503,29 @@ func (e *Engine) runShard(ctx context.Context, sh *shard) error {
 		sh.procNames = sh.hooks.ProcNames()
 	}
 	if !e.cfg.Remote {
+		ckpt := root.Child("checkpoint")
+		ckptStart := time.Now()
 		if err := e.store.FinalizeMachine(sh.spec.Name); err != nil {
+			ckpt.Finish()
+			seal("finalize-failed")
 			sh.state.Store(stateFailed)
 			return fmt.Errorf("fleet: shard %q: %w", sh.spec.Name, err)
 		}
 		if e.cfg.CheckpointDir != "" {
 			if err := e.writeCheckpoint(sh); err != nil {
+				ckpt.Finish()
+				seal("checkpoint-failed")
 				sh.state.Store(stateFailed)
 				return fmt.Errorf("fleet: checkpoint %q: %w", sh.spec.Name, err)
 			}
 		}
+		// The checkpoint runs after the virtual clock stops, so its span
+		// is zero-length on the shard timeline; the wall cost is what
+		// matters and rides along as an annotation.
+		ckpt.AnnotateInt("wall_us", time.Since(ckptStart).Microseconds())
+		ckpt.Finish()
 	}
+	seal("")
 	sh.ended.Set(time.Now().UnixNano())
 	sh.state.Store(stateDone)
 	return nil

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExemplars(t *testing.T) {
+	h := NewHistogram()
+	// Before enabling, IDs are dropped but samples still count.
+	h.ObserveExemplar(5, 0xabc)
+	if got := h.Exemplars(); got != nil {
+		t.Fatalf("exemplars before enable = %v, want nil", got)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+
+	h.EnableExemplars()
+	h.EnableExemplars()         // idempotent
+	h.ObserveExemplar(5, 0x111) // exact buckets: 5 and 7 are distinct
+	h.ObserveExemplar(7, 0x222)
+	h.ObserveExemplar(1000, 0x333)
+	h.ObserveExemplar(1200, 0x444) // larger same-bucket sample replaces
+	h.ObserveExemplar(900, 0x555)  // smaller same-bucket sample does not
+	h.ObserveExemplar(42, 0)       // zero ID never recorded
+
+	ex := h.Exemplars()
+	byBucket := map[int]Exemplar{}
+	for _, e := range ex {
+		byBucket[e.Bucket] = e
+	}
+	if e := byBucket[bucketFor(5)]; e.TraceID != 0x111 || e.Value != 5 {
+		t.Errorf("bucket(5) exemplar = %+v", e)
+	}
+	if e := byBucket[bucketFor(7)]; e.TraceID != 0x222 {
+		t.Errorf("bucket(7) exemplar = %+v", e)
+	}
+	// Max wins within a bucket: 900 and 1000 share an octave sub-bucket,
+	// and the smaller later sample must not displace the larger one.
+	if bucketFor(900) != bucketFor(1000) {
+		t.Fatalf("bucket layout changed: 900→%d, 1000→%d", bucketFor(900), bucketFor(1000))
+	}
+	if e := byBucket[bucketFor(1000)]; e.TraceID != 0x333 || e.Value != 1000 {
+		t.Errorf("bucket(1000) exemplar = %+v, want max-latency 0x333/1000", e)
+	}
+	if _, ok := byBucket[bucketFor(42)]; ok {
+		t.Error("zero trace ID must not record an exemplar")
+	}
+
+	// Nil histogram: all exemplar methods no-op.
+	var nilH *Histogram
+	nilH.EnableExemplars()
+	nilH.ObserveExemplar(1, 1)
+	nilH.ObserveWallExemplar(time.Millisecond, 1)
+	if nilH.Exemplars() != nil {
+		t.Error("nil histogram Exemplars != nil")
+	}
+}
+
+func TestRenderExemplarComments(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_latency_us", "request latency", Label{"method", "scan"})
+	h.EnableExemplars()
+	h.ObserveWallExemplar(1500*time.Microsecond, 0xdeadbeef)
+	h.Observe(3) // no exemplar for this bucket
+
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := fmt.Sprintf("# exemplar req_latency_us_bucket{method=\"scan\",le=\"%d\"} trace_id=00000000deadbeef value=1500", BucketUpper(bucketFor(1500)))
+	if !strings.Contains(out, want) {
+		t.Errorf("render missing exemplar comment %q:\n%s", want, out)
+	}
+	// Exactly one exemplar line: the un-exemplared bucket adds none.
+	if n := strings.Count(out, "# exemplar "); n != 1 {
+		t.Errorf("%d exemplar lines, want 1:\n%s", n, out)
+	}
+	// Comment placement must not corrupt the parsable series lines.
+	if !strings.Contains(out, "req_latency_us_count{method=\"scan\"} 2") {
+		t.Errorf("count series corrupted:\n%s", out)
+	}
+}
+
+// TestServeTimeouts is the regression test for the unbounded-read
+// server: the http.Server behind Serve must carry header/read/idle
+// timeouts so a stalled client cannot pin a connection forever.
+func TestServeTimeouts(t *testing.T) {
+	r := NewRegistry()
+	ms, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if ms.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set")
+	}
+	if ms.srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout not set")
+	}
+	if ms.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set")
+	}
+	// pprof's profile handler streams for a client-chosen duration, so a
+	// blanket write deadline would truncate it.
+	if ms.srv.WriteTimeout != 0 {
+		t.Error("WriteTimeout set; it would truncate pprof profile streams")
+	}
+}
+
+func TestServeExtraMounts(t *testing.T) {
+	r := NewRegistry()
+	ms, err := Serve("127.0.0.1:0", r, Mount{
+		Pattern: "/debug/extra",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, "mounted")
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	resp, err := http.Get("http://" + ms.Addr + "/debug/extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 16)
+	n, _ := resp.Body.Read(buf)
+	if got := string(buf[:n]); got != "mounted" {
+		t.Errorf("extra mount body = %q", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"time"
 )
 
 // Render writes the registry in Prometheus text exposition format:
@@ -68,8 +69,20 @@ func renderSeries(w io.Writer, f *family, s *series) error {
 		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, lb, snap.Sum); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, lb, snap.Count)
-		return err
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, lb, snap.Count); err != nil {
+			return err
+		}
+		// Exemplars: one comment line per occupied bucket linking the
+		// bucket's worst observation to its flight-recorder trace — a
+		// comment so strict text-format parsers skip it untroubled.
+		for _, ex := range s.hist.Exemplars() {
+			le := labelString(f.labelKeys, s.labelVals, fmt.Sprintf("%d", BucketUpper(ex.Bucket)))
+			if _, err := fmt.Fprintf(w, "# exemplar %s_bucket%s trace_id=%016x value=%d\n",
+				f.name, le, ex.TraceID, ex.Value); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	return nil
 }
@@ -124,9 +137,22 @@ type MetricsServer struct {
 	ln   net.Listener
 }
 
+// Mount is an extra handler to expose on a MetricsServer's mux —
+// e.g. the trace flight recorder on /debug/spans.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts a metrics+pprof server on addr (host:port; port 0 picks a
-// free one). The server runs until Close.
-func Serve(addr string, r *Registry) (*MetricsServer, error) {
+// free one), plus any extra mounts. The server runs until Close.
+//
+// The metrics port is an internal scrape target, but a stalled or
+// hostile client must still not pin a connection forever, so header and
+// body reads time out. There is deliberately no WriteTimeout: pprof
+// profile/trace handlers stream for a client-chosen number of seconds,
+// and a write deadline would truncate them.
+func Serve(addr string, r *Registry, extra ...Mount) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -138,10 +164,18 @@ func Serve(addr string, r *Registry) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	ms := &MetricsServer{
 		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: mux},
-		ln:   ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		},
+		ln: ln,
 	}
 	go func() { _ = ms.srv.Serve(ln) }()
 	return ms, nil

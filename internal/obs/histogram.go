@@ -72,6 +72,9 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Int64
 	buckets [NumBuckets]atomic.Uint64
+	// ex, when attached via EnableExemplars, maps buckets to the trace
+	// ID of their largest observation. Plain Observe never reads it.
+	ex atomic.Pointer[exemplarTable]
 }
 
 func newHistogram() *Histogram { return &Histogram{} }

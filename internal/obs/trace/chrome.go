@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace_event entry ("X" = complete event).
+// Timestamps and durations are microseconds; sub-µs spans keep their
+// fractional part so a 300 ns kernel still renders with nonzero width.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event JSON object form, which
+// Perfetto and chrome://tracing both load.
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteTraceEvents exports every retained trace (ring + slow pins,
+// deduplicated) as Chrome trace_event JSON. Each trace gets its own
+// tid so Perfetto renders it as one track; the category is the trace
+// family; args carry the span identity and annotations. Events are
+// sorted by (tid, ts, span ID) so equal recorder contents produce
+// byte-identical files. A nil tracer writes an empty trace.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	out := chromeTrace{
+		TraceEvents: []chromeEvent{},
+		Metadata:    map[string]string{"source": "internal/obs/trace"},
+	}
+	if t != nil {
+		seen := map[ID]bool{}
+		var traces []TraceSnapshot
+		for _, ts := range t.Recent(0) {
+			if !seen[ts.TraceID] {
+				seen[ts.TraceID] = true
+				traces = append(traces, ts)
+			}
+		}
+		for _, fam := range t.Slowest() {
+			for _, ts := range fam {
+				if !seen[ts.TraceID] {
+					seen[ts.TraceID] = true
+					traces = append(traces, ts)
+				}
+			}
+		}
+		// Stable track assignment: order traces by (family, start, id).
+		sort.Slice(traces, func(a, b int) bool {
+			if traces[a].Family != traces[b].Family {
+				return traces[a].Family < traces[b].Family
+			}
+			if traces[a].Start != traces[b].Start {
+				return traces[a].Start < traces[b].Start
+			}
+			return traces[a].TraceID < traces[b].TraceID
+		})
+		for tid, ts := range traces {
+			for _, sp := range ts.Spans {
+				args := map[string]string{
+					"trace_id": ts.TraceID.String(),
+					"span_id":  sp.SpanID.String(),
+				}
+				if sp.ParentID != 0 {
+					args["parent_id"] = sp.ParentID.String()
+				}
+				for _, a := range sp.Attrs {
+					args[a.Key] = a.Value()
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: sp.Name,
+					Cat:  ts.Family,
+					Ph:   "X",
+					Ts:   float64(sp.Start) / 1e3,
+					Dur:  float64(sp.End-sp.Start) / 1e3,
+					Pid:  1,
+					Tid:  tid + 1,
+					Args: args,
+				})
+			}
+		}
+		sort.Slice(out.TraceEvents, func(a, b int) bool {
+			ea, eb := out.TraceEvents[a], out.TraceEvents[b]
+			if ea.Tid != eb.Tid {
+				return ea.Tid < eb.Tid
+			}
+			if ea.Ts != eb.Ts {
+				return ea.Ts < eb.Ts
+			}
+			return ea.Args["span_id"] < eb.Args["span_id"]
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("trace: writing trace events: %w", err)
+	}
+	return nil
+}

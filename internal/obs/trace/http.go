@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Handler serves the flight recorder as /debug/spans: recent traces
+// (newest first) and the slowest pinned per family, as indented span
+// trees in text form or as JSON with ?format=json. ?trace=<hex id>
+// narrows to one trace; ?max=N bounds the recent list (default 32).
+// A nil tracer serves an empty recorder rather than a 404 so probes
+// behave the same with tracing off.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if idStr := q.Get("trace"); idStr != "" {
+			id, err := ParseID(idStr)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			ts, ok := t.Find(id)
+			if !ok {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			if q.Get("format") == "json" {
+				writeJSON(w, ts)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeTraceText(w, ts)
+			return
+		}
+
+		max := 32
+		if v := q.Get("max"); v != "" {
+			fmt.Sscanf(v, "%d", &max)
+		}
+		recent := t.Recent(max)
+		slowest := t.Slowest()
+
+		if q.Get("format") == "json" {
+			fams := make([]string, 0, len(slowest))
+			for f := range slowest {
+				fams = append(fams, f)
+			}
+			sort.Strings(fams)
+			slow := make(map[string][]TraceSnapshot, len(slowest))
+			for _, f := range fams {
+				slow[f] = slowest[f]
+			}
+			writeJSON(w, map[string]any{"recent": recent, "slowest": slow})
+			return
+		}
+
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "# flight recorder: %d recent trace(s)\n\n", len(recent))
+		for _, ts := range recent {
+			writeTraceText(w, ts)
+			fmt.Fprintln(w)
+		}
+		fams := make([]string, 0, len(slowest))
+		for f := range slowest {
+			fams = append(fams, f)
+		}
+		sort.Strings(fams)
+		for _, f := range fams {
+			fmt.Fprintf(w, "# slowest [%s]\n\n", f)
+			for _, ts := range slowest[f] {
+				writeTraceText(w, ts)
+				fmt.Fprintln(w)
+			}
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// writeTraceText renders one trace as an indented tree: each span on
+// its own line with offset-from-root, duration and annotations.
+func writeTraceText(w http.ResponseWriter, ts TraceSnapshot) {
+	fmt.Fprintf(w, "trace %s family=%s name=%q dur=%s spans=%d\n",
+		ts.TraceID, ts.Family, ts.Name, fmtNs(ts.Duration()), len(ts.Spans))
+	children := map[ID][]SpanSnapshot{}
+	var roots []SpanSnapshot
+	for _, sp := range ts.Spans {
+		if sp.ParentID == 0 {
+			roots = append(roots, sp)
+		} else {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		}
+	}
+	var walk func(sp SpanSnapshot, depth int)
+	walk = func(sp SpanSnapshot, depth int) {
+		var b strings.Builder
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(w, "%s%s +%s %s span=%s", b.String(), sp.Name,
+			fmtNs(sp.Start-ts.Start), fmtNs(sp.Duration()), sp.SpanID)
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(w, " %s=%s", a.Key, a.Value())
+		}
+		fmt.Fprintln(w)
+		for _, c := range children[sp.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp, 1)
+	}
+}
+
+// fmtNs renders a nanosecond quantity with a readable unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// ringShards spreads sealed-trace insertion across independent locks so
+// concurrent request finishes don't serialize on one ring mutex.
+const ringShards = 8
+
+// ringShard is one bounded slice of the flight recorder: a fixed-size
+// circular buffer of sealed traces.
+type ringShard struct {
+	mu   sync.Mutex
+	cap  int
+	buf  []*traceData
+	next int // insertion cursor once buf is full
+}
+
+func (r *ringShard) add(td *traceData) {
+	r.mu.Lock()
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, td)
+	} else {
+		r.buf[r.next] = td
+		r.next = (r.next + 1) % r.cap
+	}
+	r.mu.Unlock()
+}
+
+func (r *ringShard) all() []*traceData {
+	r.mu.Lock()
+	out := make([]*traceData, len(r.buf))
+	copy(out, r.buf)
+	r.mu.Unlock()
+	return out
+}
+
+// record files a sealed trace: a seal sequence for recency ordering,
+// the ring shard picked by trace ID, and the per-family keep-slowest
+// table (replace the fastest pinned entry when full).
+func (t *Tracer) record(td *traceData) {
+	td.seq = t.sealSeq.Add(1)
+	t.shards[uint64(td.id)%ringShards].add(td)
+
+	d := td.rootDuration()
+	t.slowMu.Lock()
+	pinned := t.slow[td.family]
+	if len(pinned) < t.cfg.SlowestPerFamily {
+		t.slow[td.family] = append(pinned, td)
+	} else {
+		min, minD := -1, d
+		for i, p := range pinned {
+			if pd := p.rootDuration(); pd < minD {
+				min, minD = i, pd
+			}
+		}
+		if min >= 0 {
+			pinned[min] = td
+		}
+	}
+	t.slowMu.Unlock()
+}
+
+func (td *traceData) rootDuration() int64 {
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	if td.root.end == 0 {
+		return 0
+	}
+	return td.root.end - td.root.start
+}
+
+// SpanSnapshot is the exported view of one finished span.
+type SpanSnapshot struct {
+	SpanID   ID     `json:"span_id"`
+	ParentID ID     `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	Start    int64  `json:"start_ns"`
+	End      int64  `json:"end_ns"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// Duration is the snapshot span's length in timeline nanoseconds.
+func (s SpanSnapshot) Duration() int64 { return s.End - s.Start }
+
+// Attr returns the value of the named annotation ("" if absent).
+func (s SpanSnapshot) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value()
+		}
+	}
+	return ""
+}
+
+// TraceSnapshot is the exported view of one sealed trace: its spans
+// sorted by (start, span ID) so equal inputs export byte-identically.
+type TraceSnapshot struct {
+	TraceID ID             `json:"trace_id"`
+	Family  string         `json:"family"`
+	Name    string         `json:"name"`
+	Start   int64          `json:"start_ns"`
+	End     int64          `json:"end_ns"`
+	Spans   []SpanSnapshot `json:"spans"`
+	seq     uint64
+}
+
+// Duration is the root span's length in timeline nanoseconds.
+func (t TraceSnapshot) Duration() int64 { return t.End - t.Start }
+
+func (td *traceData) snapshot() TraceSnapshot {
+	td.mu.Lock()
+	ts := TraceSnapshot{
+		TraceID: td.id,
+		Family:  td.family,
+		Name:    td.root.name,
+		Start:   td.root.start,
+		End:     td.root.end,
+		Spans:   make([]SpanSnapshot, 0, len(td.spans)),
+		seq:     td.seq,
+	}
+	for _, s := range td.spans {
+		snap := SpanSnapshot{
+			SpanID:   s.id,
+			ParentID: s.parent,
+			Name:     s.name,
+			Start:    s.start,
+			End:      s.end,
+		}
+		if len(s.attrs) > 0 {
+			snap.Attrs = append([]Attr(nil), s.attrs...)
+		}
+		ts.Spans = append(ts.Spans, snap)
+	}
+	td.mu.Unlock()
+	sort.Slice(ts.Spans, func(a, b int) bool {
+		if ts.Spans[a].Start != ts.Spans[b].Start {
+			return ts.Spans[a].Start < ts.Spans[b].Start
+		}
+		return ts.Spans[a].SpanID < ts.Spans[b].SpanID
+	})
+	return ts
+}
+
+// Recent returns up to max sealed traces, newest first (all retained
+// when max <= 0). Nil tracer returns nil.
+func (t *Tracer) Recent(max int) []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	var tds []*traceData
+	for i := range t.shards {
+		tds = append(tds, t.shards[i].all()...)
+	}
+	sort.Slice(tds, func(a, b int) bool { return tds[a].seq > tds[b].seq })
+	if max > 0 && len(tds) > max {
+		tds = tds[:max]
+	}
+	out := make([]TraceSnapshot, len(tds))
+	for i, td := range tds {
+		out[i] = td.snapshot()
+	}
+	return out
+}
+
+// Slowest returns the pinned slowest traces per family, slowest first
+// within each family, families sorted by name. Nil tracer returns nil.
+func (t *Tracer) Slowest() map[string][]TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.slowMu.Lock()
+	fams := make(map[string][]*traceData, len(t.slow))
+	for f, tds := range t.slow {
+		fams[f] = append([]*traceData(nil), tds...)
+	}
+	t.slowMu.Unlock()
+	out := make(map[string][]TraceSnapshot, len(fams))
+	for f, tds := range fams {
+		snaps := make([]TraceSnapshot, len(tds))
+		for i, td := range tds {
+			snaps[i] = td.snapshot()
+		}
+		sort.Slice(snaps, func(a, b int) bool { return snaps[a].Duration() > snaps[b].Duration() })
+		out[f] = snaps
+	}
+	return out
+}
+
+// Find looks a sealed trace up by ID (ok=false when evicted, unsealed
+// or the tracer is nil).
+func (t *Tracer) Find(id ID) (TraceSnapshot, bool) {
+	if t == nil {
+		return TraceSnapshot{}, false
+	}
+	sh := &t.shards[uint64(id)%ringShards]
+	sh.mu.Lock()
+	var found *traceData
+	for _, td := range sh.buf {
+		if td.id == id {
+			found = td
+			break
+		}
+	}
+	sh.mu.Unlock()
+	if found == nil {
+		// Slow-pinned traces survive ring eviction; check the pin table.
+		t.slowMu.Lock()
+	pins:
+		for _, tds := range t.slow {
+			for _, td := range tds {
+				if td.id == id {
+					found = td
+					break pins
+				}
+			}
+		}
+		t.slowMu.Unlock()
+	}
+	if found == nil {
+		return TraceSnapshot{}, false
+	}
+	return found.snapshot(), true
+}

@@ -1,0 +1,308 @@
+// Package trace is the per-request flight recorder of the observability
+// subsystem: a dependency-free span tracer in the obs.Registry mold. A
+// span is one timed stage of a request, a shard run, or a compute pass;
+// spans form trees via parent links, carry key/value annotations, and —
+// once their root finishes — land in a bounded, lock-sharded ring from
+// which they can be exported as Chrome trace_event JSON, browsed on
+// /debug/spans, or referenced by histogram exemplars.
+//
+// Nil-safety contract (same as obs): a nil *Tracer yields nil *Spans,
+// and every Span method no-ops on a nil receiver, so instrumented call
+// sites never branch on "tracing enabled". The no-op path is a handful
+// of nil checks — zero allocations, single-digit nanoseconds
+// (BenchmarkSpanHotPath).
+//
+// Determinism contract: the tracer never draws randomness and never
+// advances any clock. IDs are content-derived (HashID/MixID over request
+// hashes, machine names, fingerprints — never math/rand), so the same
+// seed or the same request sequence reproduces the same trace IDs run
+// after run. Sim-side spans are timestamped through a caller-supplied
+// Clock reading sched.Now() — reads only — so tracing on or off leaves
+// reports and per-machine stream SHA-256s byte-identical
+// (core.TestTraceDeterminism); service-side spans use the wall clock.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID is a 64-bit trace or span identifier. The zero ID marks "no
+// trace" (nil tracer, absent parent).
+type ID uint64
+
+// String renders the ID as fixed-width hex — the form carried in
+// X-Trace-Id headers and exemplar comments.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseID parses the fixed-width hex form back to an ID.
+func ParseID(s string) (ID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	return ID(v), err
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashID derives a deterministic ID from string parts (FNV-1a over the
+// parts with separators). Equal parts always give equal IDs; no global
+// randomness is involved.
+func HashID(parts ...string) ID {
+	h := uint64(fnvOffset)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime
+		}
+		h ^= 0xff // part separator, so ("ab","c") != ("a","bc")
+		h *= fnvPrime
+	}
+	return ID(h)
+}
+
+// MixID folds a sequence number into a base ID (splitmix64 finalizer) —
+// the way per-request and per-child IDs are derived from a parent
+// identity without collisions between siblings.
+func MixID(base ID, n uint64) ID {
+	z := uint64(base) + (n+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return ID(z ^ (z >> 31))
+}
+
+// Clock reports the current time of a trace's timeline in nanoseconds.
+// It must be non-decreasing for the trace's lifetime. Sim-side traces
+// pass a closure over Scheduler.Now (ticks × 100); service-side traces
+// use the default wall clock.
+type Clock func() int64
+
+// processStart anchors the wall clock so wall timestamps are monotonic
+// (time.Since uses the monotonic reading) and small.
+var processStart = time.Now()
+
+// wallClock is the default Clock: monotonic nanoseconds since process
+// start.
+func wallClock() int64 { return int64(time.Since(processStart)) }
+
+// Attr is one key/value annotation on a span. Either Str or Int carries
+// the value, per IsInt.
+type Attr struct {
+	Key   string `json:"key"`
+	Str   string `json:"str,omitempty"`
+	Int   int64  `json:"int,omitempty"`
+	IsInt bool   `json:"is_int,omitempty"`
+}
+
+// Value renders the attribute value as a string.
+func (a Attr) Value() string {
+	if a.IsInt {
+		return strconv.FormatInt(a.Int, 10)
+	}
+	return a.Str
+}
+
+// Span is one timed stage. Spans are created by Tracer.StartTrace (the
+// root) and Span.Child, annotated freely, and Finish()ed exactly once
+// by the goroutine that owns the stage; when the root finishes, the
+// whole tree seals into the tracer's flight recorder. A nil *Span is a
+// valid no-op on every method.
+type Span struct {
+	td     *traceData
+	id     ID
+	parent ID
+	name   string
+	start  int64
+	end    int64 // 0 while running; set under td.mu by Finish
+	attrs  []Attr
+	childN uint32 // atomic: sibling sequence for child-ID derivation
+}
+
+// traceData is the shared state of one trace: its identity, timeline
+// clock, and the accumulating span list. The mutex serializes finishes,
+// annotations and snapshots; starts only touch atomics.
+type traceData struct {
+	tracer *Tracer
+	family string
+	id     ID
+	clock  Clock
+	seq    uint64 // seal order, assigned by the recorder
+
+	mu     sync.Mutex
+	spans  []*Span // finished spans, finish order
+	root   *Span
+	sealed bool
+}
+
+// Config tunes a Tracer. Zero values select the noted defaults.
+type Config struct {
+	// Recent bounds the flight-recorder ring: how many completed traces
+	// are retained across all shards (default 512).
+	Recent int
+	// SlowestPerFamily additionally pins the slowest traces per family
+	// (by root duration) so a p999 outlier survives ring churn
+	// (default 8).
+	SlowestPerFamily int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Recent <= 0 {
+		c.Recent = 512
+	}
+	if c.SlowestPerFamily <= 0 {
+		c.SlowestPerFamily = 8
+	}
+	return c
+}
+
+// Tracer owns the flight recorder. A nil *Tracer is valid everywhere
+// and produces nil spans.
+type Tracer struct {
+	cfg     Config
+	sealSeq atomic.Uint64
+	shards  [ringShards]ringShard
+
+	slowMu sync.Mutex
+	slow   map[string][]*traceData // per family, bounded, unsorted
+}
+
+// New creates a tracer with the given bounds.
+func New(cfg Config) *Tracer {
+	t := &Tracer{cfg: cfg.withDefaults(), slow: map[string][]*traceData{}}
+	per := t.cfg.Recent / ringShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range t.shards {
+		t.shards[i].cap = per
+	}
+	return t
+}
+
+// StartTrace opens a new trace: family groups retention and export
+// ("scan", "shard", "compute"), name labels the root span, id is the
+// deterministic trace identity (HashID/MixID — the caller owns ID
+// derivation), and clock supplies the timeline (nil = wall clock).
+// The returned root span is also the trace handle: finishing it seals
+// the trace into the flight recorder.
+func (t *Tracer) StartTrace(family, name string, id ID, clock Clock) *Span {
+	if t == nil {
+		return nil
+	}
+	if clock == nil {
+		clock = wallClock
+	}
+	td := &traceData{tracer: t, family: family, id: id, clock: clock}
+	root := &Span{td: td, id: id, name: name, start: clock()}
+	td.root = root
+	return root
+}
+
+// TraceID reports the trace identity (0 for nil).
+func (s *Span) TraceID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.td.id
+}
+
+// SpanID reports the span identity (0 for nil).
+func (s *Span) SpanID() ID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Name reports the span's stage label ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Child opens a sub-stage span. The child ID is derived from the parent
+// ID, the stage name and the sibling sequence, so IDs never collide
+// within a trace and are reproducible when the call order is. Safe to
+// call from concurrent goroutines (the fan-out shape).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	n := atomic.AddUint32(&s.childN, 1)
+	return &Span{
+		td:     s.td,
+		id:     MixID(s.id^HashID(name), uint64(n)),
+		parent: s.id,
+		name:   name,
+		start:  s.td.clock(),
+	}
+}
+
+// Annotate attaches a string key/value to the span. Valid before or
+// after Finish (post-finish annotations — e.g. the fleet's straggler
+// mark — appear in later exports).
+func (s *Span) Annotate(key, val string) {
+	if s == nil {
+		return
+	}
+	s.td.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Str: val})
+	s.td.mu.Unlock()
+}
+
+// AnnotateInt attaches an integer key/value to the span.
+func (s *Span) AnnotateInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.td.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Int: v, IsInt: true})
+	s.td.mu.Unlock()
+}
+
+// Finish stamps the span's end time and files it in its trace. The
+// first Finish wins; repeats are no-ops. Finishing the root seals the
+// trace into the tracer's flight recorder.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	td := s.td
+	end := td.clock()
+	td.mu.Lock()
+	if s.end == 0 && s != td.root {
+		s.end = end
+		td.spans = append(td.spans, s)
+	}
+	seal := false
+	if s == td.root && !td.sealed {
+		s.end = end
+		td.spans = append(td.spans, s)
+		td.sealed = true
+		seal = true
+	}
+	td.mu.Unlock()
+	if seal {
+		td.tracer.record(td)
+	}
+}
+
+// Duration is the span's end-start in timeline nanoseconds (0 while
+// running or for nil).
+func (s *Span) Duration() int64 {
+	if s == nil {
+		return 0
+	}
+	s.td.mu.Lock()
+	defer s.td.mu.Unlock()
+	if s.end == 0 {
+		return 0
+	}
+	return s.end - s.start
+}

@@ -1,0 +1,417 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeClock is a deterministic Clock for tests: every read advances by
+// step, so span durations are exact and reproducible.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  int64
+	step int64
+}
+
+func (c *fakeClock) read() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += c.step
+	return c.now
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartTrace("fam", "root", HashID("x"), nil)
+	if sp != nil {
+		t.Fatalf("nil tracer StartTrace = %v, want nil", sp)
+	}
+	// Every method must be a safe no-op on the nil span.
+	child := sp.Child("stage")
+	child.Annotate("k", "v")
+	child.AnnotateInt("n", 7)
+	child.Finish()
+	sp.Finish()
+	if got := sp.TraceID(); got != 0 {
+		t.Errorf("nil span TraceID = %v, want 0", got)
+	}
+	if got := sp.SpanID(); got != 0 {
+		t.Errorf("nil span SpanID = %v, want 0", got)
+	}
+	if got := sp.Duration(); got != 0 {
+		t.Errorf("nil span Duration = %v, want 0", got)
+	}
+	if got := tr.Recent(10); got != nil {
+		t.Errorf("nil tracer Recent = %v, want nil", got)
+	}
+	if got := tr.Slowest(); got != nil {
+		t.Errorf("nil tracer Slowest = %v, want nil", got)
+	}
+	if _, ok := tr.Find(HashID("x")); ok {
+		t.Error("nil tracer Find ok = true, want false")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatalf("nil tracer WriteTraceEvents: %v", err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil tracer trace events not valid JSON: %v", err)
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	if HashID("a", "b") != HashID("a", "b") {
+		t.Error("HashID not deterministic")
+	}
+	if HashID("ab", "c") == HashID("a", "bc") {
+		t.Error("HashID part boundary collision")
+	}
+	if MixID(HashID("base"), 1) == MixID(HashID("base"), 2) {
+		t.Error("MixID sequence collision")
+	}
+
+	// Two identical traced runs must produce identical span IDs.
+	run := func() []ID {
+		tr := New(Config{})
+		clock := &fakeClock{step: 10}
+		root := tr.StartTrace("fam", "req", MixID(HashID("corpus", "/v1/scan"), 1), clock.read)
+		var ids []ID
+		ids = append(ids, root.TraceID(), root.SpanID())
+		for _, stage := range []string{"cache", "scan", "merge"} {
+			c := root.Child(stage)
+			ids = append(ids, c.SpanID())
+			c.Finish()
+		}
+		root.Finish()
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("ID %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	seen := map[ID]bool{}
+	for _, id := range a[1:] {
+		if seen[id] {
+			t.Errorf("duplicate span ID %v within one trace", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRingBoundAndRecency(t *testing.T) {
+	tr := New(Config{Recent: 16, SlowestPerFamily: 2})
+	clock := &fakeClock{step: 1}
+	for i := 0; i < 100; i++ {
+		root := tr.StartTrace("fam", fmt.Sprintf("t%d", i), HashID("t", fmt.Sprint(i)), clock.read)
+		root.Child("stage").Finish()
+		root.Finish()
+	}
+	recent := tr.Recent(0)
+	if len(recent) > 16 {
+		t.Fatalf("ring retained %d traces, cap 16", len(recent))
+	}
+	if len(recent) < 8 {
+		t.Fatalf("ring retained %d traces, want >= 8 (one per shard)", len(recent))
+	}
+	// Newest first: seal order must be strictly decreasing.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].seq >= recent[i-1].seq {
+			t.Fatalf("Recent not newest-first at %d", i)
+		}
+	}
+	if got := tr.Recent(3); len(got) != 3 {
+		t.Errorf("Recent(3) returned %d", len(got))
+	}
+}
+
+func TestKeepSlowest(t *testing.T) {
+	tr := New(Config{Recent: 8, SlowestPerFamily: 2})
+	// Root durations 1, 2, ..., 20 ticks: the pin table must end up
+	// holding the two slowest even after ring churn.
+	for i := 1; i <= 20; i++ {
+		clock := &fakeClock{step: 0}
+		root := tr.StartTrace("fam", fmt.Sprintf("t%d", i), HashID("slow", fmt.Sprint(i)), func() int64 {
+			clock.mu.Lock()
+			defer clock.mu.Unlock()
+			clock.now += int64(i)
+			return clock.now
+		})
+		root.Finish()
+	}
+	slow := tr.Slowest()["fam"]
+	if len(slow) != 2 {
+		t.Fatalf("pinned %d traces, want 2", len(slow))
+	}
+	if slow[0].Duration() != 20 || slow[1].Duration() != 19 {
+		t.Errorf("pinned durations = %d,%d, want 20,19", slow[0].Duration(), slow[1].Duration())
+	}
+	// A slow-pinned trace evicted from the ring must stay findable.
+	if _, ok := tr.Find(HashID("slow", "20")); !ok {
+		t.Error("slowest trace not findable after ring churn")
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	tr := New(Config{})
+	clock := &fakeClock{step: 5}
+	root := tr.StartTrace("fam", "req", HashID("ann"), clock.read)
+	c := root.Child("scan m001")
+	c.AnnotateInt("blocks_scanned", 12)
+	c.AnnotateInt("blocks_skipped", 30)
+	c.Finish()
+	root.Finish()
+	// Post-finish annotation (the straggler pattern) must land too.
+	root.Annotate("straggler", "true")
+	ts, ok := tr.Find(HashID("ann"))
+	if !ok {
+		t.Fatal("trace not found")
+	}
+	var scan, rootSnap *SpanSnapshot
+	for i := range ts.Spans {
+		switch ts.Spans[i].Name {
+		case "scan m001":
+			scan = &ts.Spans[i]
+		case "req":
+			rootSnap = &ts.Spans[i]
+		}
+	}
+	if scan == nil || rootSnap == nil {
+		t.Fatalf("spans missing from snapshot: %+v", ts.Spans)
+	}
+	if scan.Attr("blocks_scanned") != "12" || scan.Attr("blocks_skipped") != "30" {
+		t.Errorf("scan attrs = %+v", scan.Attrs)
+	}
+	if rootSnap.Attr("straggler") != "true" {
+		t.Errorf("post-finish annotation lost: %+v", rootSnap.Attrs)
+	}
+	if scan.ParentID != rootSnap.SpanID {
+		t.Errorf("parent link broken: %v != %v", scan.ParentID, rootSnap.SpanID)
+	}
+}
+
+// TestRecorderRace exercises concurrent child creation, annotation,
+// finishing and snapshotting under -race.
+func TestRecorderRace(t *testing.T) {
+	tr := New(Config{Recent: 32, SlowestPerFamily: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			clock := &fakeClock{step: 3}
+			for i := 0; i < 50; i++ {
+				root := tr.StartTrace("fam", "req", HashID("race", fmt.Sprint(g), fmt.Sprint(i)), clock.read)
+				var cwg sync.WaitGroup
+				for j := 0; j < 4; j++ {
+					cwg.Add(1)
+					go func(j int) {
+						defer cwg.Done()
+						c := root.Child(fmt.Sprintf("scan %d", j))
+						c.AnnotateInt("rows", int64(j))
+						c.Finish()
+					}(j)
+				}
+				cwg.Wait()
+				root.Finish()
+			}
+		}(g)
+	}
+	// Concurrent readers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Recent(8)
+				tr.Slowest()
+				var buf bytes.Buffer
+				tr.WriteTraceEvents(&buf)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestChromeTraceGolden asserts the Chrome export shape: valid JSON,
+// "X" events, microsecond timestamps monotonic per track, and parent
+// references that resolve to a span in the same file.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := New(Config{})
+	clock := &fakeClock{step: 1000} // 1 µs per read
+	root := tr.StartTrace("scan", "GET /v1/scan", HashID("golden"), clock.read)
+	cache := root.Child("cache")
+	cache.Annotate("result", "miss")
+	cache.Finish()
+	m1 := root.Child("scan m001")
+	m1.AnnotateInt("blocks_scanned", 4)
+	m1.Finish()
+	merge := root.Child("merge")
+	merge.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace events not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(out.TraceEvents))
+	}
+	ids := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Cat != "scan" {
+			t.Errorf("event %q cat = %q, want scan", ev.Name, ev.Cat)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("event %q negative dur %v", ev.Name, ev.Dur)
+		}
+		ids[ev.Args["span_id"]] = true
+	}
+	lastTs := -1.0
+	for _, ev := range out.TraceEvents {
+		if ev.Ts < lastTs {
+			t.Errorf("timestamps not monotonic: %v after %v", ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		if p := ev.Args["parent_id"]; p != "" && !ids[p] {
+			t.Errorf("event %q parent %s not in file", ev.Name, p)
+		}
+		if ev.Args["trace_id"] != HashID("golden").String() {
+			t.Errorf("event %q trace_id = %s", ev.Name, ev.Args["trace_id"])
+		}
+	}
+	// Clock steps 1 µs per read: the cache child (start read 2, end
+	// read 3) must be ts=2µs dur=1µs exactly.
+	for _, ev := range out.TraceEvents {
+		if ev.Name == "cache" {
+			if ev.Ts != 2 || ev.Dur != 1 {
+				t.Errorf("cache event ts=%v dur=%v, want 2,1", ev.Ts, ev.Dur)
+			}
+			if ev.Args["result"] != "miss" {
+				t.Errorf("cache annotation lost: %v", ev.Args)
+			}
+		}
+	}
+
+	// Byte-identical re-export: same recorder state, same file.
+	var buf2 bytes.Buffer
+	tr.WriteTraceEvents(&buf2)
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-export not byte-identical")
+	}
+}
+
+func TestDebugSpansHandler(t *testing.T) {
+	tr := New(Config{})
+	clock := &fakeClock{step: 100}
+	root := tr.StartTrace("scan", "GET /v1/scan", HashID("http"), clock.read)
+	c := root.Child("cache")
+	c.Annotate("result", "hit")
+	c.Finish()
+	root.Finish()
+
+	h := tr.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, HashID("http").String()) {
+		t.Errorf("text view missing trace id:\n%s", body)
+	}
+	if !strings.Contains(body, "cache") || !strings.Contains(body, "result=hit") {
+		t.Errorf("text view missing span detail:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans?format=json", nil))
+	var out struct {
+		Recent  []TraceSnapshot            `json:"recent"`
+		Slowest map[string][]TraceSnapshot `json:"slowest"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("json view invalid: %v", err)
+	}
+	if len(out.Recent) != 1 || out.Recent[0].TraceID != HashID("http") {
+		t.Errorf("json recent = %+v", out.Recent)
+	}
+	if len(out.Slowest["scan"]) != 1 {
+		t.Errorf("json slowest = %+v", out.Slowest)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans?trace="+HashID("http").String(), nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "GET /v1/scan") {
+		t.Errorf("trace lookup: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans?trace=ffffffffffffffff", nil))
+	if rec.Code != 404 {
+		t.Errorf("missing trace lookup code = %d, want 404", rec.Code)
+	}
+
+	// Nil tracer: handler still serves, recorder just reads empty.
+	var nilTr *Tracer
+	rec = httptest.NewRecorder()
+	nilTr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil tracer handler code = %d", rec.Code)
+	}
+}
+
+// TestSpanHotPathAllocs ratchets the instrumentation cost: a no-op
+// (nil-tracer) start+finish must not allocate at all, and a live
+// child start+annotate+finish must stay within 3 allocations.
+func TestSpanHotPathAllocs(t *testing.T) {
+	var nilTr *Tracer
+	noop := testing.AllocsPerRun(1000, func() {
+		sp := nilTr.StartTrace("fam", "req", 1, nil)
+		c := sp.Child("stage")
+		c.AnnotateInt("n", 1)
+		c.Finish()
+		sp.Finish()
+	})
+	if noop != 0 {
+		t.Errorf("no-op span path allocates %.1f/op, want 0", noop)
+	}
+
+	tr := New(Config{Recent: 8})
+	clock := &fakeClock{step: 1}
+	root := tr.StartTrace("fam", "req", 1, clock.read)
+	live := testing.AllocsPerRun(1000, func() {
+		c := root.Child("stage")
+		c.Finish()
+	})
+	if live > 3 {
+		t.Errorf("live child start+finish allocates %.1f/op, want <= 3", live)
+	}
+	root.Finish()
+}

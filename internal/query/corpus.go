@@ -26,6 +26,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/tracefmt"
 )
 
@@ -58,7 +59,13 @@ type Corpus struct {
 // (nil ok) receives colstore pushdown-ledger metrics for every scan the
 // service runs later.
 func OpenCorpus(dir string, reg *obs.Registry) (*Corpus, error) {
-	parts, err := core.LoadCorpus(dir, reg)
+	return OpenCorpusTrace(dir, reg, nil)
+}
+
+// OpenCorpusTrace is OpenCorpus with per-machine load tracing on tr
+// (nil tr loads identically and traces nothing).
+func OpenCorpusTrace(dir string, reg *obs.Registry, tr *trace.Tracer) (*Corpus, error) {
+	parts, err := core.LoadCorpusTrace(dir, reg, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -146,16 +153,18 @@ func (c *Corpus) Parts() *core.Corpus { return c.parts }
 // ScanMachine runs one machine's scan: pushdown through the colstore
 // engine when a segment exists, an equivalent row-order filter over the
 // resident records otherwise. Both paths produce rows in stream order,
-// so the same corpus answers identically from either layout.
-func (c *Corpus) ScanMachine(name string, p colstore.Predicate, cols colstore.ColumnSet) (*colstore.Batch, error) {
+// so the same corpus answers identically from either layout. The stats
+// are the scan's own block ledger (zero for the row fallback, which has
+// no blocks to skip).
+func (c *Corpus) ScanMachine(name string, p colstore.Predicate, cols colstore.ColumnSet) (*colstore.Batch, colstore.ScanStats, error) {
 	if seg := c.segs[name]; seg != nil {
-		return seg.ScanColumns(p, cols)
+		return seg.ScanColumnsStats(p, cols)
 	}
 	recs, ok := c.rows[name]
 	if !ok {
-		return nil, fmt.Errorf("%w for machine %q", collect.ErrNoRecords, name)
+		return nil, colstore.ScanStats{}, fmt.Errorf("%w for machine %q", collect.ErrNoRecords, name)
 	}
-	return scanRows(recs, p, cols), nil
+	return scanRows(recs, p, cols), colstore.ScanStats{}, nil
 }
 
 // scanRows is the row-fallback scan: the exact predicate applied to each

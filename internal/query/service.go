@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/colstore"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/report"
 )
 
@@ -25,6 +27,18 @@ type Config struct {
 	MaxQueue    int           // requests allowed to wait for a slot (default 32)
 	Timeout     time.Duration // per-request deadline (default 30s)
 	Obs         *obs.Registry // nil ok: metrics become no-ops
+	// Tracer, when set, records one span tree per admitted request —
+	// admission wait, cache probe, per-machine scans, merge, encode —
+	// returns the trace ID in X-Trace-Id, and links the latency
+	// histograms to the flight recorder via exemplars. Nil disables all
+	// of it at the cost of one predictable branch.
+	Tracer *trace.Tracer
+	// SlowMS, when positive, logs one structured line (via Logf) for any
+	// request whose wall time exceeds this many milliseconds. The stage
+	// breakdown is a view over the request's spans — there is no second
+	// timing path — so it needs Tracer to be set.
+	SlowMS int64
+	Logf   func(format string, args ...any) // default log.Printf
 }
 
 func (c Config) withDefaults() Config {
@@ -39,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	return c
 }
@@ -70,6 +87,9 @@ type Service struct {
 	draining  atomic.Bool
 	wg        sync.WaitGroup // live requests, for graceful drain
 	startedAt time.Time
+
+	tracer *trace.Tracer
+	seq    atomic.Uint64 // admitted-request sequence, mixed into trace IDs
 }
 
 // endpoints enumerated for per-endpoint instrumentation.
@@ -88,12 +108,17 @@ func NewService(c *Corpus, cfg Config) *Service {
 		startedAt: time.Now(),
 	}
 	reg := cfg.Obs
+	s.tracer = cfg.Tracer
 	for _, ep := range endpoints {
 		s.requests[ep] = reg.Counter("query_requests_total",
 			"query requests accepted, by endpoint", obs.Label{Key: "endpoint", Value: ep})
 		s.latency[ep] = reg.Histogram("query_request_wall_us",
 			"wall-clock request latency in microseconds, by endpoint",
 			obs.Label{Key: "endpoint", Value: ep})
+		if s.tracer != nil {
+			// Link each latency bucket's worst request to its trace.
+			s.latency[ep].EnableExemplars()
+		}
 	}
 	s.inflight = reg.Gauge("query_inflight",
 		"query requests currently admitted (executing or queued)")
@@ -158,8 +183,9 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 // admitted wraps a handler in the admission pool, deadline, and
 // instrumentation. The 429 path answers before consuming a slot: a
-// saturated service stays cheap to refuse.
-func (s *Service) admitted(name string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+// saturated service stays cheap to refuse — and untraced, so a refusal
+// storm cannot churn the flight recorder.
+func (s *Service) admitted(name string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *trace.Span)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			w.Header().Set("Retry-After", "1")
@@ -182,12 +208,27 @@ func (s *Service) admitted(name string, h func(ctx context.Context, w http.Respo
 			s.wg.Done()
 		}()
 
+		// The trace identity is content-derived — corpus, endpoint, raw
+		// query — plus the admission sequence number, so an identical
+		// request sequence reproduces identical trace IDs run after run.
+		root := s.tracer.StartTrace(name, r.Method+" "+r.URL.Path, trace.MixID(
+			trace.HashID(s.corpus.SHAHex(), name, r.URL.RawQuery), s.seq.Add(1)), nil)
+		if tid := root.TraceID(); tid != 0 {
+			w.Header().Set("X-Trace-Id", tid.String())
+		}
+		reqStart := time.Now()
+
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
+		admit := root.Child("admit")
 		select {
 		case s.slots <- struct{}{}:
+			admit.Finish()
 			defer func() { <-s.slots }()
 		case <-ctx.Done():
+			admit.Annotate("outcome", "timeout")
+			admit.Finish()
+			root.Finish()
 			s.timeouts.Inc()
 			writeError(w, http.StatusGatewayTimeout, "timed out waiting for an execution slot")
 			return
@@ -195,9 +236,69 @@ func (s *Service) admitted(name string, h func(ctx context.Context, w http.Respo
 
 		start := time.Now()
 		s.requests[name].Inc()
-		h(ctx, w, r.WithContext(ctx))
-		s.latency[name].ObserveWall(time.Since(start))
+		h(ctx, w, r.WithContext(ctx), root)
+		s.latency[name].ObserveWallExemplar(time.Since(start), uint64(root.TraceID()))
+		root.Finish()
+		s.maybeLogSlow(name, r, root, time.Since(reqStart))
 	}
+}
+
+// maybeLogSlow emits the slow-query line: one structured entry whose
+// stage breakdown is read back out of the request's own spans, so the
+// log and the flight recorder can never disagree.
+func (s *Service) maybeLogSlow(name string, r *http.Request, root *trace.Span, wall time.Duration) {
+	if s.cfg.SlowMS <= 0 || wall.Milliseconds() < s.cfg.SlowMS {
+		return
+	}
+	tid := root.TraceID()
+	snap, ok := s.tracer.Find(tid)
+	if !ok {
+		return
+	}
+	// Aggregate sibling spans by stage (the first token of the span
+	// name, so "scan m017" folds into "scan"), keeping order of first
+	// appearance for a stable, readable breakdown.
+	type agg struct {
+		n     int
+		total int64
+		max   int64
+	}
+	var order []string
+	stages := map[string]*agg{}
+	cache := "-"
+	for _, sp := range snap.Spans {
+		if sp.SpanID == tid { // root carries request-level annotations
+			if v := sp.Attr("cache"); v != "" {
+				cache = v
+			}
+			continue
+		}
+		stage, _, _ := strings.Cut(sp.Name, " ")
+		a := stages[stage]
+		if a == nil {
+			a = &agg{}
+			stages[stage] = a
+			order = append(order, stage)
+		}
+		a.n++
+		a.total += sp.Duration()
+		if sp.Duration() > a.max {
+			a.max = sp.Duration()
+		}
+	}
+	var b strings.Builder
+	for i, stage := range order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		a := stages[stage]
+		fmt.Fprintf(&b, "%s=%.1fms", stage, float64(a.total)/1e6)
+		if a.n > 1 {
+			fmt.Fprintf(&b, "/%d(max=%.1fms)", a.n, float64(a.max)/1e6)
+		}
+	}
+	s.cfg.Logf("slow query method=%s endpoint=%s wall_ms=%d cache=%s trace=%s stages=[%s]",
+		r.Method, name, wall.Milliseconds(), cache, tid, b.String())
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -220,12 +321,14 @@ type machineInfo struct {
 	Columnar bool   `json:"columnar"`
 }
 
-func (s *Service) handleMachines(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleMachines(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *trace.Span) {
 	key := keyFor(s.corpus.SHA, "machines")
 	if body, ok := s.cache.Get(key); ok {
+		sp.Annotate("cache", "hit")
 		writeJSON(w, http.StatusOK, body)
 		return
 	}
+	sp.Annotate("cache", "miss")
 	out := machinesBody{Corpus: s.corpus.SHAHex()}
 	for _, m := range s.corpus.Machines() {
 		out.Machines = append(out.Machines, machineInfo{
@@ -262,7 +365,7 @@ type machineScan struct {
 	Kinds     []string             `json:"kinds,omitempty"`
 }
 
-func (s *Service) handleScan(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleScan(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *trace.Span) {
 	q, err := parseScanQuery(s.corpus, r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -270,12 +373,20 @@ func (s *Service) handleScan(ctx context.Context, w http.ResponseWriter, r *http
 	}
 	canon := q.canonical()
 	key := keyFor(s.corpus.SHA, canon)
-	if body, ok := s.cache.Get(key); ok {
+	probe := sp.Child("cache")
+	body, hit := s.cache.Get(key)
+	if hit {
+		probe.Annotate("result", "hit")
+		probe.Finish()
+		sp.Annotate("cache", "hit")
 		writeJSON(w, http.StatusOK, body)
 		return
 	}
+	probe.Annotate("result", "miss")
+	probe.Finish()
+	sp.Annotate("cache", "miss")
 
-	scans, err := s.runScan(ctx, q)
+	scans, err := s.runScan(ctx, q, sp)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.timeouts.Inc()
@@ -286,6 +397,7 @@ func (s *Service) handleScan(ctx context.Context, w http.ResponseWriter, r *http
 		return
 	}
 
+	merge := sp.Child("merge")
 	out := scanBody{Corpus: s.corpus.SHAHex(), Query: canon, Machines: scans}
 	for i := range scans {
 		out.Matched += scans[i].Matched
@@ -296,13 +408,19 @@ func (s *Service) handleScan(ctx context.Context, w http.ResponseWriter, r *http
 		out.Returned += n
 	}
 	s.scanRows.Add(uint64(out.Returned))
+	merge.AnnotateInt("rows", int64(out.Returned))
+	merge.Finish()
 
-	body, err := json.Marshal(out)
+	encode := sp.Child("encode")
+	body, err = json.Marshal(out)
 	if err != nil {
+		encode.Finish()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	body = append(body, '\n')
+	encode.AnnotateInt("bytes", int64(len(body)))
+	encode.Finish()
 	s.cache.Put(key, body)
 	writeJSON(w, http.StatusOK, body)
 }
@@ -311,7 +429,7 @@ func (s *Service) handleScan(ctx context.Context, w http.ResponseWriter, r *http
 // land in slot-indexed entries of a pre-sized slice, so assembly order
 // equals the sorted machine order regardless of completion order or
 // worker count.
-func (s *Service) runScan(ctx context.Context, q *scanQuery) ([]machineScan, error) {
+func (s *Service) runScan(ctx context.Context, q *scanQuery, sp *trace.Span) ([]machineScan, error) {
 	out := make([]machineScan, len(q.machines))
 	errs := make([]error, len(q.machines))
 	var next atomic.Int64
@@ -334,11 +452,18 @@ func (s *Service) runScan(ctx context.Context, q *scanQuery) ([]machineScan, err
 					continue
 				}
 				name := q.machines[i]
-				batch, err := s.corpus.ScanMachine(name, q.pred, q.cols)
+				msp := sp.Child("scan " + name)
+				batch, st, err := s.corpus.ScanMachine(name, q.pred, q.cols)
 				if err != nil {
+					msp.Annotate("error", err.Error())
+					msp.Finish()
 					errs[i] = err
 					continue
 				}
+				msp.AnnotateInt("blocks_scanned", int64(st.BlocksScanned))
+				msp.AnnotateInt("blocks_skipped", int64(st.BlocksSkipped))
+				msp.AnnotateInt("rows", int64(batch.N))
+				msp.Finish()
 				out[i] = renderScan(name, batch, q)
 			}
 		}()
@@ -511,7 +636,7 @@ type reportBody struct {
 	Available []string `json:"available,omitempty"`
 }
 
-func (s *Service) handleReport(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleReport(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *trace.Span) {
 	reg := s.artifacts()
 	name := strings.ToLower(strings.TrimSpace(r.URL.Query().Get("artifact")))
 	if name == "" {
@@ -519,9 +644,11 @@ func (s *Service) handleReport(ctx context.Context, w http.ResponseWriter, r *ht
 		// caching it keeps the serving path uniform.
 		key := keyFor(s.corpus.SHA, "report|index")
 		if body, ok := s.cache.Get(key); ok {
+			sp.Annotate("cache", "hit")
 			writeJSON(w, http.StatusOK, body)
 			return
 		}
+		sp.Annotate("cache", "miss")
 		names := make([]string, 0, len(reg))
 		for n := range reg {
 			names = append(names, n)
@@ -540,10 +667,14 @@ func (s *Service) handleReport(ctx context.Context, w http.ResponseWriter, r *ht
 	}
 	key := keyFor(s.corpus.SHA, "report|artifact="+name)
 	if body, ok := s.cache.Get(key); ok {
+		sp.Annotate("cache", "hit")
 		writeJSON(w, http.StatusOK, body)
 		return
 	}
+	sp.Annotate("cache", "miss")
+	compute := sp.Child("compute")
 	res, err := s.results()
+	compute.Finish()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -576,7 +707,7 @@ type statsBody struct {
 	UptimeSec    int64  `json:"uptime_sec"`
 }
 
-func (s *Service) handleStats(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleStats(ctx context.Context, w http.ResponseWriter, r *http.Request, sp *trace.Span) {
 	body, err := json.Marshal(statsBody{
 		Corpus:       s.corpus.SHAHex(),
 		Dir:          s.corpus.Dir,

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -103,12 +104,22 @@ func NewKernelTimers(r *obs.Registry) *KernelTimers {
 // ComputeWorkersTimed is ComputeWorkersObs plus optional per-kernel
 // timing. Timing never alters the computed results.
 func ComputeWorkersTimed(ds *analysis.DataSet, workers int, perMachine *obs.Histogram, kt *KernelTimers) *Results {
+	return ComputeWorkersTrace(ds, workers, perMachine, kt, nil)
+}
+
+// ComputeWorkersTrace is ComputeWorkersTimed plus optional span tracing:
+// each machine's measure pass becomes one wall-clock trace (family
+// "compute") with a child span per kernel, mirroring the KernelTimers
+// split. Trace IDs derive from the machine name, so runs over the same
+// corpus produce the same IDs. Neither timing nor tracing alters the
+// computed results.
+func ComputeWorkersTrace(ds *analysis.DataSet, workers int, perMachine *obs.Histogram, kt *KernelTimers, tr *trace.Tracer) *Results {
 	slots := make([]machineMeasures, len(ds.Machines))
 	measure := func(i int) {
 		mt := ds.Machines[i]
 		m := &slots[i]
 		start := time.Now()
-		if kt == nil {
+		if kt == nil && tr == nil {
 			m.ins = mt.Instances()
 			m.lt = analysis.Lifetimes(mt)
 			m.c = analysis.Controls(mt, m.ins)
@@ -116,24 +127,29 @@ func ComputeWorkersTimed(ds *analysis.DataSet, workers int, perMachine *obs.Hist
 			m.ru = analysis.Reuse(m.ins)
 			m.rs, m.ws = analysis.FastIOShares(mt)
 		} else {
-			t0 := start
-			m.ins = mt.Instances()
-			t1 := time.Now()
-			kt.Instances.ObserveWall(t1.Sub(t0))
-			m.lt = analysis.Lifetimes(mt)
-			t2 := time.Now()
-			kt.Lifetimes.ObserveWall(t2.Sub(t1))
-			m.c = analysis.Controls(mt, m.ins)
-			t3 := time.Now()
-			kt.Controls.ObserveWall(t3.Sub(t2))
-			m.cm = analysis.Cache(mt, m.ins)
-			t4 := time.Now()
-			kt.Cache.ObserveWall(t4.Sub(t3))
-			m.ru = analysis.Reuse(m.ins)
-			t5 := time.Now()
-			kt.Reuse.ObserveWall(t5.Sub(t4))
-			m.rs, m.ws = analysis.FastIOShares(mt)
-			kt.FastIO.ObserveWall(time.Since(t5))
+			// kt may be nil with tracing on (and vice versa): extract the
+			// histograms into nil-safe locals so one kernel walk serves
+			// every combination.
+			var hIns, hLt, hC, hCm, hRu, hF *obs.Histogram
+			if kt != nil {
+				hIns, hLt, hC, hCm, hRu, hF = kt.Instances, kt.Lifetimes, kt.Controls, kt.Cache, kt.Reuse, kt.FastIO
+			}
+			root := tr.StartTrace("compute", mt.Name, trace.HashID("compute", mt.Name), nil)
+			kernel := func(name string, h *obs.Histogram, f func()) {
+				sp := root.Child(name)
+				t0 := time.Now()
+				f()
+				h.ObserveWall(time.Since(t0))
+				sp.Finish()
+			}
+			kernel("instances", hIns, func() { m.ins = mt.Instances() })
+			kernel("lifetimes", hLt, func() { m.lt = analysis.Lifetimes(mt) })
+			kernel("controls", hC, func() { m.c = analysis.Controls(mt, m.ins) })
+			kernel("cache", hCm, func() { m.cm = analysis.Cache(mt, m.ins) })
+			kernel("reuse", hRu, func() { m.ru = analysis.Reuse(m.ins) })
+			kernel("fastio", hF, func() { m.rs, m.ws = analysis.FastIOShares(mt) })
+			root.AnnotateInt("instances", int64(len(m.ins)))
+			root.Finish()
 		}
 		perMachine.ObserveWall(time.Since(start))
 	}

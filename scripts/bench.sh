@@ -22,10 +22,10 @@ go test -run NONE \
   -bench 'BenchmarkDataSetDecode|BenchmarkComputeResults|BenchmarkColumnarEncode|BenchmarkColumnarScan|BenchmarkColumnarCompute|BenchmarkQueryCold|BenchmarkQueryCacheHit' \
   -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TXT"
 
-# The obs hot path is nanosecond-scale: at a small -benchtime the numbers
-# would be harness overhead (and RunParallel's setup shows up as phantom
-# allocations), so it gets a fixed high iteration count.
-go test -run NONE -bench BenchmarkObsHotPath \
+# The obs and span hot paths are nanosecond-scale: at a small -benchtime
+# the numbers would be harness overhead (and RunParallel's setup shows up
+# as phantom allocations), so they get a fixed high iteration count.
+go test -run NONE -bench 'BenchmarkObsHotPath|BenchmarkSpanHotPath' \
   -benchtime 1000000x -count "$COUNT" . | tee -a "$TXT"
 
 # Benchmark lines look like:
